@@ -1,0 +1,54 @@
+// Figure 2 reproduction: runtimes on the largest graph (Friendster
+// stand-in), normalized to the compiled-serial (Numba) implementation.
+//
+// Paper shape: interpreted ~30x slower than compiled; engine-serial ~0.7x
+// (i.e. 31% faster); engine-parallel ~1/17th.
+#include "bench/common.hpp"
+
+#include "util/log.hpp"
+
+int main() {
+  using gee::core::Backend;
+  namespace bench = gee::bench;
+
+  const auto workloads = bench::table1_workloads();
+  const auto& friendster = workloads.back();
+  gee::util::log_info("fig2: generating " + friendster.name);
+  const auto prepared = bench::prepare(friendster, 99);
+
+  struct Row {
+    const char* name;
+    Backend backend;
+  };
+  const Row rows[] = {
+      {"GEE (interpreted)", Backend::kInterpreted},
+      {"compiled serial", Backend::kCompiledSerial},
+      {"Ligra serial", Backend::kLigraSerial},
+      {"Ligra parallel", Backend::kLigraParallel},
+  };
+
+  double compiled = 0;
+  std::vector<std::pair<std::string, double>> results;
+  for (const auto& row : rows) {
+    if (row.backend == Backend::kInterpreted && bench::skip_interpreted()) {
+      continue;
+    }
+    const double t = bench::time_backend(prepared, row.backend);
+    if (row.backend == Backend::kCompiledSerial) compiled = t;
+    results.emplace_back(row.name, t);
+  }
+
+  gee::util::TextTable table(
+      "Figure 2 -- " + friendster.name + " stand-in (" +
+      gee::util::format_count(friendster.m) +
+      " edges), normalized to compiled serial");
+  table.set_header({"implementation", "seconds", "normalized"});
+  for (const auto& [name, t] : results) {
+    table.begin_row();
+    table.cell(name);
+    table.cell(t, 4);
+    table.cell(t / compiled, 4);
+  }
+  bench::emit(table, "fig2.csv");
+  return 0;
+}

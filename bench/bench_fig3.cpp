@@ -1,0 +1,68 @@
+// Figure 3 reproduction: strong scaling of the edge-parallel backend on the
+// largest graph. The paper reports 11x speedup at 24 cores (hyperthreading
+// disabled) and, in the text, that running with atomics off showed "no
+// appreciable performance difference" -- both curves are emitted here.
+//
+// Default sweep: powers of two up to the machine's thread count (plus the
+// exact machine maximum); GEE_BENCH_ALL_CORES=1 sweeps every core count
+// like the paper's plot.
+#include "bench/common.hpp"
+
+#include "parallel/parallel_for.hpp"
+#include "util/log.hpp"
+
+int main() {
+  using gee::core::Backend;
+  namespace bench = gee::bench;
+
+  const auto workloads = bench::table1_workloads();
+  const auto& friendster = workloads.back();
+  gee::util::log_info("fig3: generating " + friendster.name);
+  const auto prepared = bench::prepare(friendster, 7);
+
+  const int max_threads = gee::par::num_threads();
+  std::vector<int> sweep;
+  if (gee::util::env_or("GEE_BENCH_ALL_CORES", false)) {
+    for (int t = 1; t <= max_threads; ++t) sweep.push_back(t);
+  } else {
+    for (int t = 1; t < max_threads; t *= 2) sweep.push_back(t);
+    sweep.push_back(max_threads);
+  }
+
+  auto time_with_threads = [&](Backend backend, int threads) {
+    double best = 1e300;
+    for (int r = 0; r < bench::repeats(); ++r) {
+      const auto result = gee::core::embed(
+          prepared.graph, prepared.labels,
+          {.backend = backend, .num_threads = threads});
+      best = std::min(best,
+                      result.timings.projection + result.timings.edge_pass);
+    }
+    return best;
+  };
+
+  gee::util::TextTable table("Figure 3 -- strong scaling, " +
+                             friendster.name + " stand-in (" +
+                             gee::util::format_count(friendster.m) +
+                             " edges)");
+  table.set_header({"cores", "atomics (s)", "speedup", "atomics-off (s)",
+                    "speedup", "off/on ratio"});
+  double base_atomic = 0, base_unsafe = 0;
+  for (const int threads : sweep) {
+    const double atomic = time_with_threads(Backend::kLigraParallel, threads);
+    const double unsafe = time_with_threads(Backend::kParallelUnsafe, threads);
+    if (threads == 1) {
+      base_atomic = atomic;
+      base_unsafe = unsafe;
+    }
+    table.begin_row();
+    table.cell(static_cast<long long>(threads));
+    table.cell(atomic, 4);
+    table.cell(base_atomic / atomic, 3);
+    table.cell(unsafe, 4);
+    table.cell(base_unsafe / unsafe, 3);
+    table.cell(unsafe / atomic, 3);
+  }
+  bench::emit(table, "fig3.csv");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 4 reproduction: runtime versus edge count on Erdős–Rényi graphs,
+// log2(edges) from 13 upward, all four implementations, 24 cores. The
+// paper's claim: GEE-Ligra's runtime grows linearly in the number of edges
+// (straight lines on the log-log plot, constant vertical offsets).
+//
+// Default sweep tops out at 2^24 edges (the paper reaches 2^29; set
+// GEE_BENCH_MAX_LOG2E=29 given ~64 GB of RAM and patience).
+#include "bench/common.hpp"
+
+#include "gen/erdos_renyi.hpp"
+#include "util/log.hpp"
+
+int main() {
+  using gee::core::Backend;
+  namespace bench = gee::bench;
+
+  const auto max_log2e = static_cast<int>(
+      gee::util::env_or("GEE_BENCH_MAX_LOG2E", std::int64_t{24}));
+  constexpr int kMinLog2Edges = 13;  // paper's left edge
+  constexpr gee::graph::EdgeId kEdgeFactor = 16;
+
+  gee::util::TextTable table(
+      "Figure 4 -- runtime (s) vs edges, Erdos-Renyi, K=50");
+  table.set_header({"log2(edges)", "edges", "interpreted", "compiled",
+                    "ligra-serial", "ligra-parallel"});
+
+  for (int log2e = kMinLog2Edges; log2e <= max_log2e; ++log2e) {
+    const auto m = gee::graph::EdgeId{1} << log2e;
+    const auto n = static_cast<gee::graph::VertexId>(
+        std::max<gee::graph::EdgeId>(2, m / kEdgeFactor));
+    gee::util::log_info("fig4: 2^" + std::to_string(log2e) + " edges");
+
+    const auto edges = gee::gen::erdos_renyi_gnm(n, m, 1000 + log2e);
+    bench::PreparedGraph prepared;
+    prepared.graph =
+        gee::graph::Graph::build(edges, gee::graph::GraphKind::kUndirected);
+    prepared.labels = gee::gen::semi_supervised_labels(
+        n, bench::kNumClasses, bench::kLabelFraction, 2000 + log2e);
+
+    table.begin_row();
+    table.cell(static_cast<long long>(log2e));
+    table.cell(gee::util::format_count(m));
+    table.cell(bench::skip_interpreted()
+                   ? std::string("-")
+                   : gee::util::format_double(
+                         bench::time_backend(prepared, Backend::kInterpreted),
+                         4));
+    table.cell(bench::time_backend(prepared, Backend::kCompiledSerial), 4);
+    table.cell(bench::time_backend(prepared, Backend::kLigraSerial), 4);
+    table.cell(bench::time_backend(prepared, Backend::kLigraParallel), 4);
+  }
+  bench::emit(table, "fig4.csv");
+  return 0;
+}

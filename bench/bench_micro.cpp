@@ -1,0 +1,149 @@
+// M1 -- google-benchmark microbenchmarks behind the paper's cost model:
+// "GEE-Ligra performs two fused-multiply adds per edge and two memory
+// writes, one of which is likely to miss" (section IV). Measures the
+// per-update primitives (plain add, lock-free write_add, racy unsafe_add),
+// the effect of hot vs cache-missing embedding rows, projection builds,
+// and the engine's full per-edge cost.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "gee/gee.hpp"
+#include "gee/projection.hpp"
+#include "gen/labels.hpp"
+#include "gen/rmat.hpp"
+#include "graph/csr.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using gee::core::Backend;
+
+// ------------------------------------------------------- update primitives
+
+void BM_PlainAdd(benchmark::State& state) {
+  double cell = 0;
+  for (auto _ : state) {
+    cell += 1.5;
+    benchmark::DoNotOptimize(cell);
+  }
+}
+BENCHMARK(BM_PlainAdd);
+
+void BM_WriteAddUncontended(benchmark::State& state) {
+  double cell = 0;
+  for (auto _ : state) {
+    gee::par::write_add(cell, 1.5);
+    benchmark::DoNotOptimize(cell);
+  }
+}
+BENCHMARK(BM_WriteAddUncontended);
+
+void BM_UnsafeAdd(benchmark::State& state) {
+  double cell = 0;
+  for (auto _ : state) {
+    gee::par::unsafe_add(cell, 1.5);
+    benchmark::DoNotOptimize(cell);
+  }
+}
+BENCHMARK(BM_UnsafeAdd);
+
+void BM_WriteAddContended(benchmark::State& state) {
+  static double shared_cell = 0;
+  for (auto _ : state) {
+    gee::par::write_add(shared_cell, 1.5);
+  }
+}
+BENCHMARK(BM_WriteAddContended)->Threads(1)->Threads(8)->Threads(24);
+
+// --------------------------------------------- hot vs missing row accesses
+
+/// The paper's cache analysis: Z(u,:) is reused while scanning u's edge
+/// list (hot); Z(v,:) for random v likely misses. Sweep the working set.
+void BM_ScatterAdd(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  constexpr int kK = 50;
+  std::vector<double> z(rows * kK, 0.0);
+  gee::util::Xoshiro256 rng(1);
+  std::vector<std::uint32_t> targets(1 << 16);
+  for (auto& t : targets) {
+    t = static_cast<std::uint32_t>(rng.next_below(rows));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto row = targets[i++ & 0xFFFF];
+    gee::par::write_add(z[static_cast<std::size_t>(row) * kK + 7], 1.0);
+  }
+  state.SetLabel(std::to_string(rows * kK * sizeof(double) / 1024) + " KiB Z");
+}
+BENCHMARK(BM_ScatterAdd)->Arg(1 << 6)->Arg(1 << 12)->Arg(1 << 18)->Arg(1 << 22);
+
+// ------------------------------------------------------- projection builds
+
+void BM_ProjectionCompact(benchmark::State& state) {
+  const auto n = static_cast<gee::graph::VertexId>(state.range(0));
+  const auto labels = gee::gen::semi_supervised_labels(n, 50, 0.10, 3);
+  for (auto _ : state) {
+    auto p = gee::core::build_projection(labels);
+    benchmark::DoNotOptimize(p.vertex_weight.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ProjectionCompact)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+
+void BM_ProjectionDense(benchmark::State& state) {
+  const auto n = static_cast<gee::graph::VertexId>(state.range(0));
+  const auto labels = gee::gen::semi_supervised_labels(n, 50, 0.10, 3);
+  const auto projection = gee::core::build_projection(labels);
+  for (auto _ : state) {
+    auto w = gee::core::build_dense_w(projection, labels);
+    benchmark::DoNotOptimize(w.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 50);
+}
+BENCHMARK(BM_ProjectionDense)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+
+// ------------------------------------------------------- full edge passes
+
+struct PassFixture {
+  gee::graph::Graph graph;
+  std::vector<std::int32_t> labels;
+
+  static const PassFixture& instance() {
+    static const PassFixture f = [] {
+      PassFixture fixture;
+      const auto edges = gee::gen::rmat(18, 16, 11);  // 262K vertices, 4.2M
+      fixture.graph = gee::graph::Graph::build(
+          edges, gee::graph::GraphKind::kUndirected);
+      fixture.labels = gee::gen::semi_supervised_labels(
+          fixture.graph.num_vertices(), 50, 0.10, 13);
+      return fixture;
+    }();
+    return f;
+  }
+};
+
+void BM_EdgePass(benchmark::State& state, Backend backend) {
+  const auto& f = PassFixture::instance();
+  for (auto _ : state) {
+    auto result = gee::core::embed(f.graph, f.labels, {.backend = backend});
+    benchmark::DoNotOptimize(result.z.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.graph.num_arcs()));
+  state.SetLabel("ns/arc shown by items/s");
+}
+BENCHMARK_CAPTURE(BM_EdgePass, compiled_serial, Backend::kCompiledSerial)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EdgePass, ligra_parallel, Backend::kLigraParallel)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EdgePass, parallel_pull, Backend::kParallelPull)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EdgePass, flat_parallel, Backend::kFlatParallel)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,150 @@
+#include "cluster/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
+#include "util/rng.hpp"
+
+namespace gee::cluster {
+
+namespace {
+
+double sq_dist(const double* a, const double* b, std::size_t dim) {
+  double sum = 0;
+  for (std::size_t d = 0; d < dim; ++d) {
+    const double diff = a[d] - b[d];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+/// k-means++: each next center is sampled proportional to squared distance
+/// from the nearest existing center.
+std::vector<double> plus_plus_init(std::span<const double> data, std::size_t n,
+                                   std::size_t dim, int k,
+                                   gee::util::Xoshiro256& rng) {
+  std::vector<double> centers(static_cast<std::size_t>(k) * dim);
+  const std::size_t first = rng.next_below(n);
+  std::copy_n(data.data() + first * dim, dim, centers.begin());
+
+  std::vector<double> dist(n, std::numeric_limits<double>::max());
+  for (int c = 1; c < k; ++c) {
+    // Update distances against the newest center.
+    const double* newest = centers.data() + static_cast<std::size_t>(c - 1) * dim;
+    gee::par::parallel_for(std::size_t{0}, n, [&](std::size_t i) {
+      dist[i] = std::min(dist[i], sq_dist(data.data() + i * dim, newest, dim));
+    }, 1024);
+    double total = 0;
+    for (std::size_t i = 0; i < n; ++i) total += dist[i];
+    std::size_t pick = 0;
+    if (total > 0) {
+      double target = rng.next_double() * total;
+      for (; pick + 1 < n; ++pick) {
+        target -= dist[pick];
+        if (target <= 0) break;
+      }
+    } else {
+      pick = rng.next_below(n);  // all points identical to centers
+    }
+    std::copy_n(data.data() + pick * dim, dim,
+                centers.begin() + static_cast<std::size_t>(c) * dim);
+  }
+  return centers;
+}
+
+}  // namespace
+
+KMeansResult kmeans(std::span<const double> data, std::size_t n,
+                    std::size_t dim, int k, const KMeansOptions& options) {
+  if (k < 1 || static_cast<std::size_t>(k) > n) {
+    throw std::invalid_argument("kmeans: need 1 <= k <= n");
+  }
+  if (data.size() != n * dim) {
+    throw std::invalid_argument("kmeans: data size != n * dim");
+  }
+  gee::util::Xoshiro256 rng(options.seed);
+
+  KMeansResult r;
+  if (options.plus_plus) {
+    r.centers = plus_plus_init(data, n, dim, k, rng);
+  } else {
+    r.centers.assign(data.begin(),
+                     data.begin() + static_cast<std::ptrdiff_t>(
+                                        static_cast<std::size_t>(k) * dim));
+  }
+  r.assignment.assign(n, -1);
+
+  double prev_inertia = std::numeric_limits<double>::max();
+  for (int it = 0; it < options.max_iterations; ++it) {
+    // Assignment step (parallel).
+    std::vector<std::int64_t> changed_flags(n, 0);
+    gee::par::parallel_for(std::size_t{0}, n, [&](std::size_t i) {
+      const double* point = data.data() + i * dim;
+      int best = 0;
+      double best_dist = std::numeric_limits<double>::max();
+      for (int c = 0; c < k; ++c) {
+        const double d2 =
+            sq_dist(point, r.centers.data() + static_cast<std::size_t>(c) * dim, dim);
+        if (d2 < best_dist) {
+          best_dist = d2;
+          best = c;
+        }
+      }
+      if (r.assignment[i] != best) {
+        changed_flags[i] = 1;
+        r.assignment[i] = best;
+      }
+    }, 256);
+    const auto changed = gee::par::reduce_sum<std::int64_t>(
+        n, [&](std::size_t i) { return changed_flags[i]; });
+
+    // Update step: new centers = cluster means (serial over points; the
+    // assignment step dominates at K x dim work per point).
+    std::vector<double> sums(static_cast<std::size_t>(k) * dim, 0.0);
+    std::vector<std::size_t> counts(static_cast<std::size_t>(k), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto c = static_cast<std::size_t>(r.assignment[i]);
+      counts[c]++;
+      const double* point = data.data() + i * dim;
+      double* target = sums.data() + c * dim;
+      for (std::size_t d = 0; d < dim; ++d) target[d] += point[d];
+    }
+    for (int c = 0; c < k; ++c) {
+      const auto cc = static_cast<std::size_t>(c);
+      if (counts[cc] == 0) {
+        // Empty cluster: reseed at a random point.
+        const std::size_t pick = rng.next_below(n);
+        std::copy_n(data.data() + pick * dim, dim,
+                    r.centers.begin() + cc * dim);
+        continue;
+      }
+      for (std::size_t d = 0; d < dim; ++d) {
+        r.centers[cc * dim + d] = sums[cc * dim + d] / static_cast<double>(counts[cc]);
+      }
+    }
+
+    r.inertia = gee::par::reduce_sum<double>(n, [&](std::size_t i) {
+      return sq_dist(data.data() + i * dim,
+                     r.centers.data() +
+                         static_cast<std::size_t>(r.assignment[i]) * dim,
+                     dim);
+    });
+    r.iterations = it + 1;
+    const bool inertia_converged =
+        prev_inertia < std::numeric_limits<double>::max() &&
+        std::abs(prev_inertia - r.inertia) <=
+            options.tolerance * std::max(prev_inertia, 1e-30);
+    if (changed == 0 || inertia_converged) {
+      r.converged = true;
+      break;
+    }
+    prev_inertia = r.inertia;
+  }
+  return r;
+}
+
+}  // namespace gee::cluster

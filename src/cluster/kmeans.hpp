@@ -1,0 +1,38 @@
+// Lloyd's k-means with k-means++ seeding, parallel assignment step.
+//
+// GEE's downstream task: cluster the embedding rows to recover communities
+// (the paper's introduction motivates embedding by clustering [1], [2]).
+// The community_detection example and the SBM-recovery tests run k-means
+// on Z and compare against planted blocks via ARI.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gee::cluster {
+
+struct KMeansOptions {
+  int max_iterations = 100;
+  /// Converged when no assignment changes (or inertia improvement is below
+  /// this relative tolerance).
+  double tolerance = 1e-7;
+  std::uint64_t seed = 1;
+  /// k-means++ seeding (recommended); false = first-k-rows init.
+  bool plus_plus = true;
+};
+
+struct KMeansResult {
+  std::vector<std::int32_t> assignment;  ///< cluster id per point
+  std::vector<double> centers;           ///< k x dim, row major
+  double inertia = 0;                    ///< sum of squared distances
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Cluster n points of dimension `dim` (row-major `data`, n*dim values)
+/// into k clusters. Throws std::invalid_argument for k < 1 or k > n.
+KMeansResult kmeans(std::span<const double> data, std::size_t n,
+                    std::size_t dim, int k, const KMeansOptions& options = {});
+
+}  // namespace gee::cluster

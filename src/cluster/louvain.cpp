@@ -1,0 +1,351 @@
+#include "cluster/louvain.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "cluster/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace gee::cluster {
+
+namespace {
+
+using graph::Csr;
+using graph::VertexId;
+
+/// Working graph for one level: CSR-ish weighted adjacency with self-loops
+/// allowed (aggregated communities keep internal weight as a loop).
+struct LevelGraph {
+  std::vector<std::uint64_t> offsets;
+  std::vector<VertexId> targets;
+  std::vector<double> weights;
+  std::vector<double> loop_weight;  // self-loop weight per vertex
+  double total_weight = 0;          // 2m (sum of all arc weights + 2*loops)
+
+  [[nodiscard]] VertexId size() const {
+    return static_cast<VertexId>(loop_weight.size());
+  }
+};
+
+LevelGraph from_csr(const Csr& csr) {
+  LevelGraph g;
+  const VertexId n = csr.num_vertices();
+  g.offsets.assign(csr.offsets().begin(), csr.offsets().end());
+  g.targets.assign(csr.targets().begin(), csr.targets().end());
+  g.weights.resize(csr.num_edges());
+  for (std::size_t e = 0; e < g.weights.size(); ++e) {
+    g.weights[e] = static_cast<double>(csr.weight_at(e));
+  }
+  g.loop_weight.assign(n, 0.0);
+  // Fold self-arcs into loop_weight (each stored loop arc carries half of
+  // the loop's conventional 2x degree contribution; symmetrize() stores
+  // loops twice, so summing stored loop arcs gives the full 2w).
+  for (VertexId u = 0; u < n; ++u) {
+    for (auto e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+      if (g.targets[e] == u) {
+        g.loop_weight[u] += g.weights[e];
+        g.weights[e] = 0;  // neutralized; skipped during moves
+      }
+    }
+  }
+  g.total_weight = 0;
+  for (const double w : g.weights) g.total_weight += w;
+  for (const double w : g.loop_weight) g.total_weight += w;
+  return g;
+}
+
+struct LevelResult {
+  std::vector<std::int32_t> community;  // per level-vertex, compacted
+  std::int32_t count = 0;
+  double modularity = 0;
+};
+
+/// One level of local moves. Returns the compacted community assignment.
+LevelResult local_moves(const LevelGraph& g, const LouvainOptions& options,
+                        std::uint64_t seed) {
+  const VertexId n = g.size();
+  const double two_m = g.total_weight;
+
+  std::vector<std::int32_t> community(n);
+  std::iota(community.begin(), community.end(), 0);
+
+  // degree[u]: weighted degree incl. loops; community_degree[c]: sum over
+  // members.
+  std::vector<double> degree(n, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    double d = g.loop_weight[u];
+    for (auto e = g.offsets[u]; e < g.offsets[u + 1]; ++e) d += g.weights[e];
+    degree[u] = d;
+  }
+  std::vector<double> community_degree = degree;
+
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  gee::util::Xoshiro256 rng(seed);
+  for (VertexId i = n; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+
+  std::unordered_map<std::int32_t, double> weight_to;  // reused per vertex
+  for (int sweep = 0; sweep < options.max_sweeps_per_level; ++sweep) {
+    VertexId moved = 0;
+    for (const VertexId u : order) {
+      const std::int32_t old_c = community[u];
+      weight_to.clear();
+      for (auto e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+        if (g.weights[e] == 0) continue;  // neutralized loop
+        weight_to[community[g.targets[e]]] += g.weights[e];
+      }
+      // Remove u from its community for gain computation.
+      community_degree[static_cast<std::size_t>(old_c)] -= degree[u];
+
+      std::int32_t best_c = old_c;
+      double best_gain = weight_to.count(old_c) != 0
+                             ? weight_to[old_c] -
+                                   community_degree[static_cast<std::size_t>(
+                                       old_c)] *
+                                       degree[u] / two_m
+                             : -community_degree[static_cast<std::size_t>(
+                                   old_c)] *
+                                   degree[u] / two_m;
+      for (const auto& [c, w] : weight_to) {
+        if (c == old_c) continue;
+        const double gain =
+            w - community_degree[static_cast<std::size_t>(c)] * degree[u] /
+                    two_m;
+        if (gain > best_gain + 1e-15) {
+          best_gain = gain;
+          best_c = c;
+        }
+      }
+      community_degree[static_cast<std::size_t>(best_c)] += degree[u];
+      if (best_c != old_c) {
+        community[u] = best_c;
+        ++moved;
+      }
+    }
+    if (moved == 0) break;
+  }
+
+  // Compact community ids to [0, count).
+  LevelResult r;
+  std::unordered_map<std::int32_t, std::int32_t> remap;
+  r.community.resize(n);
+  for (VertexId u = 0; u < n; ++u) {
+    auto [it, inserted] = remap.try_emplace(community[u], r.count);
+    if (inserted) ++r.count;
+    r.community[u] = it->second;
+  }
+  return r;
+}
+
+/// Aggregate: community graph whose vertices are the level's communities.
+LevelGraph aggregate(const LevelGraph& g,
+                     const std::vector<std::int32_t>& community,
+                     std::int32_t count) {
+  const auto k = static_cast<std::size_t>(count);
+  std::vector<std::unordered_map<std::int32_t, double>> adj(k);
+  std::vector<double> loops(k, 0.0);
+  for (VertexId u = 0; u < g.size(); ++u) {
+    const auto cu = static_cast<std::size_t>(community[u]);
+    loops[cu] += g.loop_weight[u];
+    for (auto e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+      if (g.weights[e] == 0) continue;
+      const std::int32_t cv = community[g.targets[e]];
+      if (static_cast<std::size_t>(cv) == cu) {
+        loops[cu] += g.weights[e];  // intra-community arc becomes loop mass
+      } else {
+        adj[cu][cv] += g.weights[e];
+      }
+    }
+  }
+  LevelGraph out;
+  out.loop_weight = std::move(loops);
+  out.offsets.resize(k + 1, 0);
+  for (std::size_t c = 0; c < k; ++c) {
+    out.offsets[c + 1] = out.offsets[c] + adj[c].size();
+  }
+  out.targets.resize(out.offsets.back());
+  out.weights.resize(out.offsets.back());
+  for (std::size_t c = 0; c < k; ++c) {
+    std::size_t pos = out.offsets[c];
+    for (const auto& [cv, w] : adj[c]) {
+      out.targets[pos] = static_cast<VertexId>(cv);
+      out.weights[pos] = w;
+      ++pos;
+    }
+  }
+  out.total_weight = g.total_weight;
+  return out;
+}
+
+}  // namespace
+
+RefineResult refine_partition(const Csr& symmetric,
+                              std::span<const std::int32_t> coarse,
+                              std::uint64_t seed) {
+  const VertexId n = symmetric.num_vertices();
+  // Weighted degrees and 2m for modularity gains (loops count twice in a
+  // row-sum of symmetric storage, consistent with louvain()).
+  std::vector<double> degree(n, 0.0);
+  double two_m = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    const auto w = symmetric.edge_weights(u);
+    double d = 0;
+    if (w.empty()) {
+      d = static_cast<double>(symmetric.degree(u));
+    } else {
+      for (const float x : w) d += x;
+    }
+    degree[u] = d;
+    two_m += d;
+  }
+
+  RefineResult r;
+  r.group.resize(n);
+  std::iota(r.group.begin(), r.group.end(), 0);
+  std::vector<double> group_degree = degree;
+  std::vector<std::int32_t> group_size(n, 1);
+
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  gee::util::Xoshiro256 rng(seed);
+  for (VertexId i = n; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+
+  std::unordered_map<std::int32_t, double> weight_to;
+  for (const VertexId u : order) {
+    // Leiden's restriction: only singletons move during refinement --
+    // this is what makes every group connected by construction (a
+    // singleton joins a group it has an edge into; groups never split).
+    if (group_size[static_cast<std::size_t>(r.group[u])] != 1) continue;
+    weight_to.clear();
+    const auto neigh = symmetric.neighbors(u);
+    const auto w = symmetric.edge_weights(u);
+    for (std::size_t j = 0; j < neigh.size(); ++j) {
+      const VertexId v = neigh[j];
+      if (v == u || coarse[v] != coarse[u]) continue;  // stay in community
+      weight_to[r.group[v]] += w.empty() ? 1.0 : static_cast<double>(w[j]);
+    }
+    const std::int32_t old_g = r.group[u];
+    std::int32_t best_g = old_g;
+    double best_gain = 0.0;  // staying put has gain 0
+    for (const auto& [gid, wt] : weight_to) {
+      if (gid == old_g) continue;
+      const double gain =
+          wt - group_degree[static_cast<std::size_t>(gid)] * degree[u] / two_m;
+      if (gain > best_gain + 1e-15) {
+        best_gain = gain;
+        best_g = gid;
+      }
+    }
+    if (best_g != old_g) {
+      group_degree[static_cast<std::size_t>(old_g)] -= degree[u];
+      group_size[static_cast<std::size_t>(old_g)] -= 1;
+      group_degree[static_cast<std::size_t>(best_g)] += degree[u];
+      group_size[static_cast<std::size_t>(best_g)] += 1;
+      r.group[u] = best_g;
+    }
+  }
+
+  // Compact group ids.
+  std::unordered_map<std::int32_t, std::int32_t> remap;
+  for (VertexId u = 0; u < n; ++u) {
+    auto [it, inserted] = remap.try_emplace(r.group[u], r.num_groups);
+    if (inserted) ++r.num_groups;
+    r.group[u] = it->second;
+  }
+  return r;
+}
+
+LouvainResult leiden(const Csr& symmetric, const LouvainOptions& options) {
+  LouvainResult result;
+  const VertexId n = symmetric.num_vertices();
+  result.community.resize(n);
+  std::iota(result.community.begin(), result.community.end(), 0);
+  result.num_communities = static_cast<std::int32_t>(n);
+  if (n == 0 || symmetric.num_edges() == 0) return result;
+
+  LevelGraph level = from_csr(symmetric);
+  // Identity mapping original vertex -> current level vertex, maintained
+  // through refined aggregations.
+  std::vector<std::int32_t> to_level(n);
+  std::iota(to_level.begin(), to_level.end(), 0);
+  double prev_modularity = modularity(symmetric, result.community);
+
+  for (int lvl = 0; lvl < options.max_levels; ++lvl) {
+    const LevelResult moved = local_moves(
+        level, options, gee::util::hash_combine(options.seed, lvl));
+
+    // Refinement runs on the ORIGINAL graph within the communities induced
+    // on original vertices (level 0) or on the level graph via projection.
+    // Project coarse communities to original vertices first.
+    std::vector<std::int32_t> coarse(n);
+    for (VertexId v = 0; v < n; ++v) {
+      coarse[v] = moved.community[static_cast<std::size_t>(to_level[v])];
+    }
+    const RefineResult refined = refine_partition(
+        symmetric, coarse, gee::util::hash_combine(options.seed, 1000 + lvl));
+
+    result.community = coarse;
+    result.num_communities = moved.count;
+    result.levels = lvl + 1;
+
+    const double q = modularity(symmetric, result.community);
+    result.modularity = q;
+    if (q - prev_modularity < options.min_gain ||
+        moved.count == static_cast<std::int32_t>(level.size())) {
+      break;
+    }
+    prev_modularity = q;
+
+    // Aggregate the ORIGINAL graph over refined groups (Leiden's key step:
+    // aggregation nodes are the connected refined groups, not the coarse
+    // communities), then continue at the next level.
+    LevelGraph base = from_csr(symmetric);
+    level = aggregate(base, refined.group, refined.num_groups);
+    to_level = refined.group;
+  }
+  return result;
+}
+
+LouvainResult louvain(const Csr& symmetric, const LouvainOptions& options) {
+  LouvainResult result;
+  const VertexId n = symmetric.num_vertices();
+  result.community.resize(n);
+  std::iota(result.community.begin(), result.community.end(), 0);
+  result.num_communities = static_cast<std::int32_t>(n);
+  if (n == 0 || symmetric.num_edges() == 0) {
+    return result;  // nothing to cluster
+  }
+
+  LevelGraph level = from_csr(symmetric);
+  double prev_modularity = modularity(symmetric, result.community);
+
+  for (int lvl = 0; lvl < options.max_levels; ++lvl) {
+    const LevelResult moved = local_moves(
+        level, options, gee::util::hash_combine(options.seed, lvl));
+
+    // Project onto original vertices.
+    for (VertexId v = 0; v < n; ++v) {
+      result.community[v] =
+          moved.community[static_cast<std::size_t>(result.community[v])];
+    }
+    result.num_communities = moved.count;
+    result.levels = lvl + 1;
+
+    const double q = modularity(symmetric, result.community);
+    result.modularity = q;
+    if (q - prev_modularity < options.min_gain ||
+        moved.count == static_cast<std::int32_t>(level.size())) {
+      break;  // converged: no merge happened or gain negligible
+    }
+    prev_modularity = q;
+    level = aggregate(level, moved.community, moved.count);
+  }
+  return result;
+}
+
+}  // namespace gee::cluster

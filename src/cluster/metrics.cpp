@@ -1,0 +1,172 @@
+#include "cluster/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
+
+namespace gee::cluster {
+
+namespace {
+
+std::int32_t max_label(std::span<const std::int32_t> xs) {
+  std::int32_t mx = -1;
+  for (const auto x : xs) mx = std::max(mx, x);
+  return mx;
+}
+
+double comb2(double n) { return n * (n - 1.0) / 2.0; }
+
+}  // namespace
+
+std::vector<std::vector<std::uint64_t>> contingency_table(
+    std::span<const std::int32_t> a, std::span<const std::int32_t> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("contingency_table: length mismatch");
+  }
+  const auto ka = static_cast<std::size_t>(max_label(a) + 1);
+  const auto kb = static_cast<std::size_t>(max_label(b) + 1);
+  std::vector<std::vector<std::uint64_t>> table(
+      ka, std::vector<std::uint64_t>(kb, 0));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] >= 0 && b[i] >= 0) {
+      table[static_cast<std::size_t>(a[i])][static_cast<std::size_t>(b[i])]++;
+    }
+  }
+  return table;
+}
+
+double adjusted_rand_index(std::span<const std::int32_t> a,
+                           std::span<const std::int32_t> b) {
+  const auto table = contingency_table(a, b);
+  if (table.empty()) return 0.0;
+
+  double sum_cells = 0, total = 0;
+  std::vector<double> row_sums(table.size(), 0);
+  std::vector<double> col_sums(table[0].size(), 0);
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    for (std::size_t j = 0; j < table[i].size(); ++j) {
+      const auto nij = static_cast<double>(table[i][j]);
+      sum_cells += comb2(nij);
+      row_sums[i] += nij;
+      col_sums[j] += nij;
+      total += nij;
+    }
+  }
+  if (total < 2) return 0.0;
+
+  double sum_rows = 0, sum_cols = 0;
+  for (const double r : row_sums) sum_rows += comb2(r);
+  for (const double c : col_sums) sum_cols += comb2(c);
+
+  const double expected = sum_rows * sum_cols / comb2(total);
+  const double max_index = 0.5 * (sum_rows + sum_cols);
+  if (max_index == expected) return 1.0;  // both partitions trivial
+  return (sum_cells - expected) / (max_index - expected);
+}
+
+double normalized_mutual_information(std::span<const std::int32_t> a,
+                                     std::span<const std::int32_t> b) {
+  const auto table = contingency_table(a, b);
+  if (table.empty()) return 0.0;
+
+  double total = 0;
+  std::vector<double> row_sums(table.size(), 0);
+  std::vector<double> col_sums(table[0].size(), 0);
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    for (std::size_t j = 0; j < table[i].size(); ++j) {
+      const auto nij = static_cast<double>(table[i][j]);
+      row_sums[i] += nij;
+      col_sums[j] += nij;
+      total += nij;
+    }
+  }
+  if (total == 0) return 0.0;
+
+  double mi = 0, ha = 0, hb = 0;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    for (std::size_t j = 0; j < table[i].size(); ++j) {
+      const auto nij = static_cast<double>(table[i][j]);
+      if (nij == 0) continue;
+      mi += nij / total *
+            std::log(nij * total / (row_sums[i] * col_sums[j]));
+    }
+  }
+  for (const double r : row_sums) {
+    if (r > 0) ha -= r / total * std::log(r / total);
+  }
+  for (const double c : col_sums) {
+    if (c > 0) hb -= c / total * std::log(c / total);
+  }
+  const double denom = 0.5 * (ha + hb);
+  if (denom == 0) return 1.0;  // both partitions are single clusters
+  return mi / denom;
+}
+
+double purity(std::span<const std::int32_t> clusters,
+              std::span<const std::int32_t> truth) {
+  const auto table = contingency_table(clusters, truth);
+  double correct = 0, total = 0;
+  for (const auto& row : table) {
+    std::uint64_t best = 0, sum = 0;
+    for (const auto cell : row) {
+      best = std::max(best, cell);
+      sum += cell;
+    }
+    correct += static_cast<double>(best);
+    total += static_cast<double>(sum);
+  }
+  return total > 0 ? correct / total : 0.0;
+}
+
+double modularity(const graph::Csr& symmetric,
+                  std::span<const std::int32_t> labels) {
+  const graph::VertexId n = symmetric.num_vertices();
+  if (labels.size() < n) {
+    throw std::invalid_argument("modularity: labels shorter than graph");
+  }
+  // Weighted degrees (row sums) and total weight 2m.
+  std::vector<double> degree(n, 0);
+  gee::par::parallel_for_dynamic(graph::VertexId{0}, n, [&](graph::VertexId u) {
+    const auto w = symmetric.edge_weights(u);
+    if (w.empty()) {
+      degree[u] = static_cast<double>(symmetric.degree(u));
+    } else {
+      double sum = 0;
+      for (const float x : w) sum += x;
+      degree[u] = sum;
+    }
+  });
+  const double two_m = gee::par::reduce_sum<double>(
+      n, [&](std::size_t u) { return degree[u]; });
+  if (two_m == 0) return 0.0;
+
+  // Intra-community edge weight.
+  const double intra = gee::par::reduce_sum<double>(n, [&](std::size_t ui) {
+    const auto u = static_cast<graph::VertexId>(ui);
+    if (labels[u] < 0) return 0.0;
+    const auto neigh = symmetric.neighbors(u);
+    const auto w = symmetric.edge_weights(u);
+    double sum = 0;
+    for (std::size_t j = 0; j < neigh.size(); ++j) {
+      if (labels[neigh[j]] == labels[u]) {
+        sum += w.empty() ? 1.0 : static_cast<double>(w[j]);
+      }
+    }
+    return sum;
+  });
+
+  // Expected intra weight under the configuration model.
+  const auto k = static_cast<std::size_t>(max_label(labels) + 1);
+  std::vector<double> community_degree(k, 0);
+  for (graph::VertexId u = 0; u < n; ++u) {
+    if (labels[u] >= 0) community_degree[static_cast<std::size_t>(labels[u])] += degree[u];
+  }
+  double expected = 0;
+  for (const double d : community_degree) expected += d * d;
+  return intra / two_m - expected / (two_m * two_m);
+}
+
+}  // namespace gee::cluster

@@ -1,0 +1,41 @@
+// Clustering/partition quality metrics.
+//
+// Used to validate the statistical claims around GEE: k-means on the
+// embedding of an SBM graph should recover the planted partition (high ARI
+// / NMI against ground truth), and Louvain labels fed back into GEE should
+// have high modularity. All metrics take label vectors; -1 entries (unknown)
+// are excluded from pair counting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gee::cluster {
+
+/// counts[a][b] = number of items with label_a == a and label_b == b.
+/// Only items with both labels >= 0 are counted.
+std::vector<std::vector<std::uint64_t>> contingency_table(
+    std::span<const std::int32_t> a, std::span<const std::int32_t> b);
+
+/// Adjusted Rand index in [-0.5, 1]; 1 = identical partitions, ~0 = chance.
+double adjusted_rand_index(std::span<const std::int32_t> a,
+                           std::span<const std::int32_t> b);
+
+/// Normalized mutual information in [0, 1] (arithmetic-mean normalization).
+double normalized_mutual_information(std::span<const std::int32_t> a,
+                                     std::span<const std::int32_t> b);
+
+/// Fraction of items whose cluster's majority ground-truth class matches
+/// their own (cluster "purity"); items with either label -1 are skipped.
+double purity(std::span<const std::int32_t> clusters,
+              std::span<const std::int32_t> truth);
+
+/// Newman modularity of a partition on a symmetric weighted graph:
+/// Q = (1/2m) * sum_{uv} [A_uv - d_u d_v / 2m] * [c_u == c_v].
+/// Expects symmetric storage (each undirected edge as two arcs).
+double modularity(const graph::Csr& symmetric, std::span<const std::int32_t> labels);
+
+}  // namespace gee::cluster

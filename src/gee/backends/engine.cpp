@@ -1,0 +1,57 @@
+// Backend::kLigraParallel / kLigraSerial / kParallelUnsafe -- Algorithm 2:
+// the GEE update function mapped over all edges by the graph engine with
+// the frontier set to the whole vertex set, using lock-free writeAdd
+// (or deliberately racy adds for the paper's atomics-off experiment).
+#include "gee/backends/pass.hpp"
+#include "ligra/edge_map.hpp"
+#include "parallel/atomics.hpp"
+
+namespace gee::core::detail {
+
+namespace {
+
+/// updateEmb of Algorithm 2. The engine's dense-forward mode hands every
+/// out-arc of every vertex to update_atomic; cond is always true and no
+/// output frontier is produced.
+template <class AddFn>
+struct UpdateEmb {
+  PassContext ctx;
+  ArcSemantics semantics;
+  AddFn add;
+
+  bool update(VertexId u, VertexId v, graph::Weight w) {
+    return update_atomic(u, v, w);
+  }
+  bool update_atomic(VertexId u, VertexId v, graph::Weight w) {
+    update_dest_side(ctx, u, v, w, add);
+    if (semantics == ArcSemantics::kBoth) update_src_side(ctx, u, v, w, add);
+    return false;
+  }
+  [[nodiscard]] bool cond(VertexId /*v*/) const { return true; }
+};
+
+}  // namespace
+
+void pass_engine(const graph::Graph& g, ArcSemantics semantics,
+                 Atomicity atomicity, const PassContext& ctx) {
+  auto frontier = ligra::VertexSubset::all(g.num_vertices());
+  const ligra::EdgeMapOptions options{
+      .mode = ligra::EdgeMapMode::kDenseForward, .produce_output = false};
+  if (atomicity == Atomicity::kUnsafe) {
+    ligra::edge_map(g, frontier,
+                    UpdateEmb{ctx, semantics,
+                              [](Real& cell, Real delta) {
+                                gee::par::unsafe_add(cell, delta);
+                              }},
+                    options);
+  } else {
+    ligra::edge_map(g, frontier,
+                    UpdateEmb{ctx, semantics,
+                              [](Real& cell, Real delta) {
+                                gee::par::write_add(cell, delta);
+                              }},
+                    options);
+  }
+}
+
+}  // namespace gee::core::detail

@@ -1,0 +1,38 @@
+// Backend::kInterpreted -- run the update rule through the bytecode VM for
+// every edge, single threaded, with W in its dense form. See vm.hpp for why
+// this is the honest analogue of the paper's Python reference column.
+#include "gee/backends/pass.hpp"
+#include "gee/backends/vm.hpp"
+
+namespace gee::core::detail {
+
+void pass_interpreted_csr(const graph::Csr& arcs, ArcSemantics semantics,
+                          const PassContext& ctx, const Real* dense_w) {
+  vm::Interpreter interp(
+      vm::compile_update(/*src_side=*/semantics == ArcSemantics::kBoth,
+                         /*dest_side=*/true),
+      ctx.labels, dense_w, ctx.z, ctx.k);
+  const VertexId n = arcs.num_vertices();
+  for (VertexId u = 0; u < n; ++u) {
+    const auto neigh = arcs.neighbors(u);
+    const auto weights = arcs.edge_weights(u);
+    for (std::size_t j = 0; j < neigh.size(); ++j) {
+      const Weight w = weights.empty() ? Weight{1} : weights[j];
+      interp.run_edge(u, neigh[j], static_cast<double>(w));
+    }
+  }
+}
+
+void pass_interpreted_edges(const graph::EdgeList& edges,
+                            const PassContext& ctx, const Real* dense_w) {
+  vm::Interpreter interp(
+      vm::compile_update(/*src_side=*/true, /*dest_side=*/true), ctx.labels,
+      dense_w, ctx.z, ctx.k);
+  const EdgeId m = edges.num_edges();
+  for (EdgeId e = 0; e < m; ++e) {
+    interp.run_edge(edges.src(e), edges.dst(e),
+                    static_cast<double>(edges.weight(e)));
+  }
+}
+
+}  // namespace gee::core::detail

@@ -1,0 +1,101 @@
+// Internal interface of the GEE edge-pass kernels (one per backend).
+//
+// Update semantics (see DESIGN.md and gee.cpp): the canonical output is
+// Algorithm 1 run over the logical edge list --
+//     Z(u, Y(v)) += W(v, Y(v)) * w      (line 10, "source-side")
+//     Z(v, Y(u)) += W(u, Y(u)) * w      (line 11, "dest-side")
+//
+//  * kBoth: the stored arcs ARE the logical edges (directed graphs, raw
+//    edge lists): every arc fires both lines.
+//  * kDestOnly: symmetric storage holds each undirected edge as two
+//    mirrored arcs; firing only the dest-side line per arc yields exactly
+//    Algorithm 1's two updates per logical edge. In a source-partitioned
+//    parallel traversal the dest-side write lands on another worker's row,
+//    which is precisely the race of the paper's Figure 1 -- so the atomics
+//    story is preserved while the output matches the reference exactly
+//    (up to floating-point reassociation).
+#pragma once
+
+#include <cstdint>
+
+#include "gee/options.hpp"
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+
+namespace gee::core::detail {
+
+using graph::EdgeId;
+using graph::VertexId;
+using graph::Weight;
+
+struct PassContext {
+  const std::int32_t* labels = nullptr;  // n entries, -1 = unknown
+  const Real* vertex_weight = nullptr;   // n entries (compact W)
+  Real* z = nullptr;                     // n x k, row major, zeroed
+  int k = 0;
+};
+
+enum class ArcSemantics : std::uint8_t { kDestOnly, kBoth };
+enum class Atomicity : std::uint8_t { kNone, kAtomic, kUnsafe };
+
+/// Tight serial loop over CSR rows (Backend::kCompiledSerial, Graph input).
+void pass_serial_csr(const graph::Csr& arcs, ArcSemantics semantics,
+                     const PassContext& ctx);
+
+/// Tight serial loop over the raw edge array, both updates per edge
+/// (Backend::kCompiledSerial, EdgeList input; Algorithm 1 verbatim).
+void pass_serial_edges(const graph::EdgeList& edges, const PassContext& ctx);
+
+/// Ligra-style dense-forward edgeMap over the full frontier
+/// (Backend::kLigraParallel / kLigraSerial / kParallelUnsafe).
+void pass_engine(const graph::Graph& g, ArcSemantics semantics,
+                 Atomicity atomicity, const PassContext& ctx);
+
+/// Race-free two-sided pull (Backend::kParallelPull). Directed graphs
+/// require g.has_in(); throws std::invalid_argument otherwise.
+void pass_pull(const graph::Graph& g, ArcSemantics semantics,
+               const PassContext& ctx);
+
+/// Plain parallel-for over CSR rows, static schedule, no engine
+/// (Backend::kFlatParallel, Graph input).
+void pass_flat_csr(const graph::Csr& arcs, ArcSemantics semantics,
+                   Atomicity atomicity, const PassContext& ctx);
+
+/// Plain parallel-for over the raw edge array with atomics
+/// (Backend::kFlatParallel, EdgeList input).
+void pass_flat_edges(const graph::EdgeList& edges, Atomicity atomicity,
+                     const PassContext& ctx);
+
+/// Boxed-value bytecode interpreter (Backend::kInterpreted). `dense_w` is
+/// the n x k dense projection matrix (Algorithm 1 reads W(v, Y(v)) by
+/// indexing, and so does the interpreter).
+void pass_interpreted_csr(const graph::Csr& arcs, ArcSemantics semantics,
+                          const PassContext& ctx, const Real* dense_w);
+void pass_interpreted_edges(const graph::EdgeList& edges,
+                            const PassContext& ctx, const Real* dense_w);
+
+// ------------------------------------------------------------ shared inline
+
+/// Line 10: source row u accumulates dest v's class mass.
+template <class AddFn>
+inline void update_src_side(const PassContext& ctx, VertexId u, VertexId v,
+                            Weight w, AddFn&& add) {
+  const std::int32_t yv = ctx.labels[v];
+  if (yv >= 0) {
+    add(ctx.z[static_cast<std::size_t>(u) * ctx.k + yv],
+        ctx.vertex_weight[v] * static_cast<Real>(w));
+  }
+}
+
+/// Line 11: dest row v accumulates source u's class mass.
+template <class AddFn>
+inline void update_dest_side(const PassContext& ctx, VertexId u, VertexId v,
+                             Weight w, AddFn&& add) {
+  const std::int32_t yu = ctx.labels[u];
+  if (yu >= 0) {
+    add(ctx.z[static_cast<std::size_t>(v) * ctx.k + yu],
+        ctx.vertex_weight[u] * static_cast<Real>(w));
+  }
+}
+
+}  // namespace gee::core::detail

@@ -1,0 +1,61 @@
+// Backend::kParallelPull -- race-free two-sided pull (extension, not in the
+// paper). Every embedding row is written by exactly one worker:
+//   * dest-side updates (line 11) group by destination: iterate the in-CSR,
+//     row v accumulates from its in-neighbors.
+//   * src-side updates (line 10, kBoth only) group by source: iterate the
+//     out-CSR, row u accumulates from its out-neighbors.
+// No atomics, deterministic for a fixed row order, at the cost of requiring
+// the transpose for directed graphs and a second pass.
+#include <stdexcept>
+
+#include "gee/backends/pass.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace gee::core::detail {
+
+void pass_pull(const graph::Graph& g, ArcSemantics semantics,
+               const PassContext& ctx) {
+  const VertexId n = g.num_vertices();
+
+  // Dest-side (line 11): arcs (u, v) grouped by v == rows of the in-CSR.
+  // For symmetric graphs in() aliases out(): row v lists v's neighbors u
+  // with the weight of arc (v, u) == arc (u, v).
+  if (g.directed() && !g.has_in()) {
+    throw std::invalid_argument(
+        "kParallelPull on a directed graph requires the in-CSR "
+        "(BuildOptions::build_in_csr)");
+  }
+  const graph::Csr& in = g.directed() ? g.in() : g.out();
+  gee::par::parallel_for_dynamic(VertexId{0}, n, [&](VertexId v) {
+    const auto neigh = in.neighbors(v);
+    const auto weights = in.edge_weights(v);
+    Real* zrow = ctx.z + static_cast<std::size_t>(v) * ctx.k;
+    for (std::size_t j = 0; j < neigh.size(); ++j) {
+      const VertexId u = neigh[j];
+      const std::int32_t yu = ctx.labels[u];
+      if (yu >= 0) {
+        const Weight w = weights.empty() ? Weight{1} : weights[j];
+        zrow[yu] += ctx.vertex_weight[u] * static_cast<Real>(w);
+      }
+    }
+  });
+
+  if (semantics != ArcSemantics::kBoth) return;
+
+  // Src-side (line 10): arcs (u, v) grouped by u == rows of the out-CSR.
+  gee::par::parallel_for_dynamic(VertexId{0}, n, [&](VertexId u) {
+    const auto neigh = g.out().neighbors(u);
+    const auto weights = g.out().edge_weights(u);
+    Real* zrow = ctx.z + static_cast<std::size_t>(u) * ctx.k;
+    for (std::size_t j = 0; j < neigh.size(); ++j) {
+      const VertexId v = neigh[j];
+      const std::int32_t yv = ctx.labels[v];
+      if (yv >= 0) {
+        const Weight w = weights.empty() ? Weight{1} : weights[j];
+        zrow[yv] += ctx.vertex_weight[v] * static_cast<Real>(w);
+      }
+    }
+  });
+}
+
+}  // namespace gee::core::detail

@@ -1,0 +1,43 @@
+// Backend::kCompiledSerial -- the Numba stand-in: what the reference
+// algorithm compiles to when the loop is native code. One thread, no
+// atomics, no engine.
+#include "gee/backends/pass.hpp"
+
+namespace gee::core::detail {
+
+namespace {
+inline void plain_add(Real& cell, Real delta) { cell += delta; }
+}  // namespace
+
+void pass_serial_csr(const graph::Csr& arcs, ArcSemantics semantics,
+                     const PassContext& ctx) {
+  const VertexId n = arcs.num_vertices();
+  for (VertexId u = 0; u < n; ++u) {
+    const auto neigh = arcs.neighbors(u);
+    const auto weights = arcs.edge_weights(u);
+    for (std::size_t j = 0; j < neigh.size(); ++j) {
+      const VertexId v = neigh[j];
+      const Weight w = weights.empty() ? Weight{1} : weights[j];
+      update_dest_side(ctx, u, v, w, plain_add);
+      if (semantics == ArcSemantics::kBoth) {
+        update_src_side(ctx, u, v, w, plain_add);
+      }
+    }
+  }
+}
+
+void pass_serial_edges(const graph::EdgeList& edges, const PassContext& ctx) {
+  const EdgeId m = edges.num_edges();
+  const auto srcs = edges.srcs();
+  const auto dsts = edges.dsts();
+  const auto weights = edges.weights();
+  for (EdgeId e = 0; e < m; ++e) {
+    const VertexId u = srcs[e];
+    const VertexId v = dsts[e];
+    const Weight w = weights.empty() ? Weight{1} : weights[e];
+    update_src_side(ctx, u, v, w, plain_add);   // line 10
+    update_dest_side(ctx, u, v, w, plain_add);  // line 11
+  }
+}
+
+}  // namespace gee::core::detail

@@ -1,0 +1,244 @@
+#include "gee/backends/vm.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace gee::core::vm {
+
+std::vector<Instr> compile_update(bool src_side, bool dest_side) {
+  std::vector<Instr> prog;
+  auto emit = [&](Op op, std::int32_t arg = 0) {
+    prog.push_back({op, arg});
+    return static_cast<std::int32_t>(prog.size() - 1);
+  };
+
+  if (src_side) {
+    // if Y[v] < 0 goto skip; Z[u][Y[v]] += W[v][Y[v]] * w
+    emit(Op::kPushV);
+    emit(Op::kLoadLabel);
+    const auto jump = emit(Op::kJumpIfNeg);
+    emit(Op::kPushU);        // row
+    emit(Op::kPushV);
+    emit(Op::kLoadLabel);    // class (re-evaluated: interpreters reread)
+    emit(Op::kPushV);
+    emit(Op::kPushV);
+    emit(Op::kLoadLabel);
+    emit(Op::kLoadProj);     // W[v][Y[v]]
+    emit(Op::kPushW);
+    emit(Op::kMul);          // value
+    emit(Op::kZAddAssign);
+    prog[static_cast<std::size_t>(jump)].arg =
+        static_cast<std::int32_t>(prog.size());
+  }
+  if (dest_side) {
+    emit(Op::kPushU);
+    emit(Op::kLoadLabel);
+    const auto jump = emit(Op::kJumpIfNeg);
+    emit(Op::kPushV);        // row
+    emit(Op::kPushU);
+    emit(Op::kLoadLabel);    // class
+    emit(Op::kPushU);
+    emit(Op::kPushU);
+    emit(Op::kLoadLabel);
+    emit(Op::kLoadProj);     // W[u][Y[u]]
+    emit(Op::kPushW);
+    emit(Op::kMul);
+    emit(Op::kZAddAssign);
+    prog[static_cast<std::size_t>(jump)].arg =
+        static_cast<std::int32_t>(prog.size());
+  }
+  emit(Op::kHalt);
+  return prog;
+}
+
+namespace {
+
+/// Row-major strided accessor; the out-of-line virtual hop + explicit
+/// stride math per element mimics numpy's dtype dispatch on every scalar
+/// access. noinline: CPython/numpy reach these through function-pointer
+/// tables, so the call must actually happen here too.
+class StridedDoubleArray final : public NdArrayView {
+ public:
+  StridedDoubleArray(double* data, const double* cdata, std::size_t rows,
+                     std::size_t cols)
+      : data_(data), cdata_(cdata), rows_(rows), cols_(cols) {}
+
+  [[gnu::noinline]] double get(std::size_t row,
+                               std::size_t col) const override {
+    if (row >= rows_ || col >= cols_) {
+      throw std::out_of_range("NdArrayView::get: index out of bounds");
+    }
+    return cdata_[row * cols_ + col];
+  }
+
+  [[gnu::noinline]] void add(std::size_t row, std::size_t col,
+                             double delta) override {
+    if (data_ == nullptr) {
+      throw std::logic_error("NdArrayView::add on read-only array");
+    }
+    if (row >= rows_ || col >= cols_) {
+      throw std::out_of_range("NdArrayView::add: index out of bounds");
+    }
+    data_[row * cols_ + col] += delta;
+  }
+
+ private:
+  double* data_;         // nullptr for read-only views
+  const double* cdata_;
+  std::size_t rows_, cols_;
+};
+
+/// Binary-operator "type slots": arithmetic dispatches through a function
+/// table indexed by operand tags, the way CPython's BINARY_OP consults
+/// nb_multiply and numpy consults its dtype loops.
+using BinaryFn = double (*)(double, double);
+
+[[gnu::noinline]] double slot_mul(double a, double b) { return a * b; }
+
+BinaryFn lookup_binary_slot(Box::Tag /*a*/, Box::Tag /*b*/, Op op) {
+  // Only kMul exists today; the lookup is kept shape-faithful anyway.
+  return op == Op::kMul ? &slot_mul : nullptr;
+}
+
+}  // namespace
+
+Interpreter::Interpreter(std::vector<Instr> program,
+                         const std::int32_t* labels, const Real* dense_w,
+                         Real* z, int k)
+    : program_(std::move(program)), labels_(labels), k_(k) {
+  if (program_.empty() || program_.back().op != Op::kHalt) {
+    throw std::invalid_argument("Interpreter: program must end with kHalt");
+  }
+  // Row counts are not tracked by the ctor signature (callers own the
+  // arrays); the views bound-check columns and defer row checking to the
+  // label array contract.
+  constexpr auto kMaxRows = static_cast<std::size_t>(-1);
+  w_view_ = std::make_unique<StridedDoubleArray>(
+      nullptr, dense_w, kMaxRows, static_cast<std::size_t>(k));
+  z_view_ = std::make_unique<StridedDoubleArray>(
+      z, z, kMaxRows, static_cast<std::size_t>(k));
+  stack_.reserve(16);
+}
+
+Interpreter::~Interpreter() {
+  for (Box* chunk : pool_chunks_) delete[] chunk;
+}
+
+[[gnu::noinline]] Box* Interpreter::alloc_box(double value, Box::Tag tag) {
+  if (free_list_ == nullptr) {
+    // Grow the pool one chunk at a time (CPython grows its float freelist
+    // the same lazy way).
+    constexpr std::size_t kChunk = 256;
+    Box* chunk = new Box[kChunk];
+    pool_chunks_.push_back(chunk);
+    for (std::size_t i = 0; i < kChunk; ++i) {
+      chunk[i].next_free = free_list_;
+      free_list_ = &chunk[i];
+    }
+  }
+  Box* box = free_list_;
+  free_list_ = box->next_free;
+  box->value = value;
+  box->refcount = 1;
+  box->tag = tag;
+  ++boxes_allocated_;
+  return box;
+}
+
+[[gnu::noinline]] void Interpreter::decref(Box* box) noexcept {
+  if (--box->refcount == 0) {
+    box->next_free = free_list_;
+    free_list_ = box;
+  }
+}
+
+[[gnu::noinline]] void Interpreter::push(Box* box) { stack_.push_back(box); }
+
+[[gnu::noinline]] double Interpreter::pop() {
+  Box* box = stack_.back();
+  stack_.pop_back();
+  const double value = box->value;
+  decref(box);
+  return value;
+}
+
+void Interpreter::run_edge(graph::VertexId u, graph::VertexId v, double w) {
+  std::size_t pc = 0;
+  for (;;) {
+    const Instr instr = program_[pc];
+    switch (instr.op) {
+      case Op::kPushU:
+        push(alloc_box(static_cast<double>(u), Box::Tag::kInt));
+        ++pc;
+        break;
+      case Op::kPushV:
+        push(alloc_box(static_cast<double>(v), Box::Tag::kInt));
+        ++pc;
+        break;
+      case Op::kPushW:
+        push(alloc_box(w, Box::Tag::kFloat));
+        ++pc;
+        break;
+      case Op::kLoadLabel: {
+        const auto vertex = static_cast<std::size_t>(pop());
+        push(alloc_box(static_cast<double>(labels_[vertex]), Box::Tag::kInt));
+        ++pc;
+        break;
+      }
+      case Op::kJumpIfNeg: {
+        const double value = pop();
+        pc = value < 0 ? static_cast<std::size_t>(instr.arg) : pc + 1;
+        break;
+      }
+      case Op::kLoadProj: {
+        // Fancy indexing: materialize the (vertex, class) index tuple as
+        // boxed objects before the dispatched access, as numpy would.
+        const auto cls = static_cast<std::size_t>(pop());
+        const auto vertex = static_cast<std::size_t>(pop());
+        Box* index = alloc_box(static_cast<double>(vertex),
+                               Box::Tag::kIndexTuple);
+        Box* index2 = alloc_box(static_cast<double>(cls),
+                                Box::Tag::kIndexTuple);
+        const double value = w_view_->get(
+            static_cast<std::size_t>(index->value),
+            static_cast<std::size_t>(index2->value));
+        decref(index2);
+        decref(index);
+        push(alloc_box(value, Box::Tag::kFloat));
+        ++pc;
+        break;
+      }
+      case Op::kMul: {
+        Box* bb = stack_.back();
+        const Box::Tag tag_b = bb->tag;
+        const double b = pop();
+        const Box::Tag tag_a = stack_.back()->tag;
+        const double a = pop();
+        const BinaryFn fn = lookup_binary_slot(tag_a, tag_b, Op::kMul);
+        push(alloc_box(fn(a, b), Box::Tag::kFloat));
+        ++pc;
+        break;
+      }
+      case Op::kZAddAssign: {
+        const double value = pop();
+        const auto cls = static_cast<std::size_t>(pop());
+        const auto row = static_cast<std::size_t>(pop());
+        Box* index = alloc_box(static_cast<double>(row),
+                               Box::Tag::kIndexTuple);
+        Box* index2 = alloc_box(static_cast<double>(cls),
+                                Box::Tag::kIndexTuple);
+        z_view_->add(static_cast<std::size_t>(index->value),
+                     static_cast<std::size_t>(index2->value), value);
+        decref(index2);
+        decref(index);
+        ++pc;
+        break;
+      }
+      case Op::kHalt:
+        assert(stack_.empty());
+        return;
+    }
+  }
+}
+
+}  // namespace gee::core::vm

@@ -1,0 +1,55 @@
+#include "gee/classify.hpp"
+
+#include <stdexcept>
+
+#include "parallel/parallel_for.hpp"
+
+namespace gee::core {
+
+std::vector<std::int32_t> predict_argmax(const Embedding& z) {
+  std::vector<std::int32_t> predicted(z.num_vertices());
+  gee::par::parallel_for(VertexId{0}, z.num_vertices(), [&](VertexId v) {
+    predicted[v] = static_cast<std::int32_t>(argmax_row(z, v));
+  }, /*grain=*/512);
+  return predicted;
+}
+
+ClassificationReport evaluate_holdout(const Embedding& z,
+                                      std::span<const std::int32_t> truth,
+                                      std::span<const std::int32_t> observed) {
+  const VertexId n = z.num_vertices();
+  if (truth.size() < n || observed.size() < n) {
+    throw std::invalid_argument("evaluate_holdout: label vectors too short");
+  }
+  const auto k = static_cast<std::size_t>(z.dim());
+  ClassificationReport report;
+  report.confusion.assign(k, std::vector<std::uint64_t>(k + 1, 0));
+
+  const auto predicted = predict_argmax(z);
+  VertexId correct = 0, covered = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (observed[v] >= 0 || truth[v] < 0) continue;  // seen or unlabeled
+    ++report.evaluated;
+    const auto t = static_cast<std::size_t>(truth[v]);
+    if (t >= k) {
+      throw std::invalid_argument("evaluate_holdout: truth label >= K");
+    }
+    const std::int32_t p = predicted[v];
+    if (p < 0) {
+      report.confusion[t][k]++;  // abstained
+      continue;
+    }
+    ++covered;
+    report.confusion[t][static_cast<std::size_t>(p)]++;
+    if (p == truth[v]) ++correct;
+  }
+  if (report.evaluated > 0) {
+    report.accuracy = static_cast<double>(correct) /
+                      static_cast<double>(report.evaluated);
+    report.coverage = static_cast<double>(covered) /
+                      static_cast<double>(report.evaluated);
+  }
+  return report;
+}
+
+}  // namespace gee::core

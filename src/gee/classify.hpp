@@ -1,0 +1,41 @@
+// Semi-supervised classification on top of the embedding.
+//
+// The GEE reference publication evaluates embeddings by vertex
+// classification; these helpers package that protocol: predict each
+// vertex's class as the argmax coordinate of its row (the class whose
+// labeled neighborhood donated the most mass), evaluate on the vertices
+// whose labels were held out, and report the confusion structure.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gee/embedding.hpp"
+
+namespace gee::core {
+
+/// Argmax-class prediction per vertex; -1 for all-zero rows (no labeled
+/// neighbor -- unclassifiable by a one-pass method).
+std::vector<std::int32_t> predict_argmax(const Embedding& z);
+
+struct ClassificationReport {
+  /// Fraction correct among evaluated vertices (predicted -1 counts as
+  /// incorrect: the model abstained).
+  double accuracy = 0;
+  /// Fraction of evaluated vertices with a non-abstaining prediction.
+  double coverage = 0;
+  VertexId evaluated = 0;
+  /// confusion[t][p]: held-out vertices of true class t predicted as p.
+  /// Column index num_classes holds abstentions.
+  std::vector<std::vector<std::uint64_t>> confusion;
+};
+
+/// Evaluate hold-out classification: vertices with observed[v] >= 0 were
+/// visible to GEE and are excluded; the rest are scored against truth.
+/// truth/observed must cover z.num_vertices() entries.
+ClassificationReport evaluate_holdout(const Embedding& z,
+                                      std::span<const std::int32_t> truth,
+                                      std::span<const std::int32_t> observed);
+
+}  // namespace gee::core

@@ -1,0 +1,54 @@
+#include "gee/embedding.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
+
+namespace gee::core {
+
+Embedding::Embedding(VertexId n, int k)
+    : n_(n), k_(k), data_(static_cast<std::size_t>(n) * static_cast<std::size_t>(k)) {
+  clear();
+}
+
+void Embedding::clear() {
+  gee::par::fill_zero(data_.data(), data_.size());
+}
+
+void normalize_rows(Embedding& z) {
+  const int k = z.dim();
+  gee::par::parallel_for(VertexId{0}, z.num_vertices(), [&](VertexId v) {
+    const auto row = z.row(v);
+    Real sq = 0;
+    for (int c = 0; c < k; ++c) sq += row[c] * row[c];
+    if (sq == 0) return;
+    const Real inv = Real{1} / std::sqrt(sq);
+    for (int c = 0; c < k; ++c) row[c] *= inv;
+  }, /*grain=*/256);
+}
+
+Real max_abs_diff(const Embedding& a, const Embedding& b) {
+  if (a.num_vertices() != b.num_vertices() || a.dim() != b.dim()) {
+    return std::numeric_limits<Real>::infinity();
+  }
+  return gee::par::reduce_max<Real>(a.size(), Real{0}, [&](std::size_t i) {
+    return std::abs(a.data()[i] - b.data()[i]);
+  });
+}
+
+int argmax_row(const Embedding& z, VertexId v) {
+  const auto row = z.row(v);
+  int best = -1;
+  Real best_val = 0;
+  for (int c = 0; c < z.dim(); ++c) {
+    if (row[c] > best_val) {
+      best_val = row[c];
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace gee::core

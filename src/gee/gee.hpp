@@ -1,0 +1,59 @@
+// One-Hot Graph Encoder Embedding (GEE) -- public API.
+//
+// Reproduces Shen, Wang & Priebe, "One-hot graph encoder embedding" (TPAMI
+// 2023) as parallelized by Lubonja, Shen, Priebe & Burns, "Edge-Parallel
+// Graph Encoder Embedding" (IPDPS-W 2024). Given a graph and a label vector
+// Y in {-1, 0..K-1} (-1 = unknown), computes the n x K embedding Z in one
+// pass over the edges:
+//
+//     Z(u, Y(v)) += W(v, Y(v)) * w(u,v)
+//     Z(v, Y(u)) += W(u, Y(u)) * w(u,v)     for every edge (u, v)
+//
+// with W(v, Y(v)) = 1 / |class(Y(v))|. Entry points:
+//
+//  * embed(Graph, ...)      -- CSR-based; what the engine backends want.
+//                              Undirected graphs (symmetric storage) yield
+//                              exactly the same Z as the edge-list form.
+//  * embed_edges(EdgeList, ...) -- Algorithm 1 verbatim over the raw edge
+//                              array (the reference & Numba code shape).
+//                              Engine backends build a temporary Graph
+//                              (time reported in Timings::graph_build).
+//
+// Typical use:
+//
+//     auto labels = gen::semi_supervised_labels(g.num_vertices(), 50, 0.1, 1);
+//     auto result = core::embed(g, labels, {.backend =
+//                                           core::Backend::kLigraParallel});
+//     // result.z.row(v) is vertex v's 50-dim embedding.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "gee/embedding.hpp"
+#include "gee/options.hpp"
+#include "gee/projection.hpp"
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+
+namespace gee::core {
+
+struct Result {
+  Embedding z;
+  Projection projection;
+  Timings timings;
+  Backend backend = Backend::kLigraParallel;
+};
+
+/// Embed a built graph. labels.size() must equal g.num_vertices().
+/// Throws std::invalid_argument on malformed labels/options.
+Result embed(const graph::Graph& g, std::span<const std::int32_t> labels,
+             const Options& options = {});
+
+/// Embed a raw edge list (Algorithm 1's E matrix). labels.size() must be
+/// >= edges.num_vertices().
+Result embed_edges(const graph::EdgeList& edges,
+                   std::span<const std::int32_t> labels,
+                   const Options& options = {});
+
+}  // namespace gee::core

@@ -1,0 +1,92 @@
+#include "gee/incremental.hpp"
+
+#include <stdexcept>
+
+#include "parallel/atomics.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace gee::core {
+
+IncrementalGee::IncrementalGee(std::span<const std::int32_t> labels,
+                               int num_classes)
+    : labels_(labels.begin(), labels.end()),
+      projection_(build_projection(labels, num_classes)),
+      z_(static_cast<graph::VertexId>(labels.size()),
+         projection_.num_classes) {
+  if (projection_.num_classes == 0) {
+    throw std::invalid_argument(
+        "IncrementalGee: no labeled vertices and no K given");
+  }
+}
+
+IncrementalGee::IncrementalGee(Result&& batch,
+                               std::span<const std::int32_t> labels)
+    : labels_(labels.begin(), labels.end()),
+      projection_(std::move(batch.projection)),
+      z_(std::move(batch.z)) {
+  if (labels_.size() != z_.num_vertices()) {
+    throw std::invalid_argument("IncrementalGee: labels/embedding mismatch");
+  }
+}
+
+void IncrementalGee::add_edge(graph::VertexId u, graph::VertexId v,
+                              graph::Weight w) {
+  if (u >= z_.num_vertices() || v >= z_.num_vertices()) {
+    throw std::out_of_range("IncrementalGee::add_edge: vertex out of range");
+  }
+  const std::int32_t yu = labels_[u];
+  const std::int32_t yv = labels_[v];
+  if (yv >= 0) {
+    gee::par::write_add(z_.at(u, yv),
+                        projection_.vertex_weight[v] * static_cast<Real>(w));
+  }
+  if (yu >= 0) {
+    gee::par::write_add(z_.at(v, yu),
+                        projection_.vertex_weight[u] * static_cast<Real>(w));
+  }
+  gee::par::write_add(edges_applied_, std::uint64_t{1});
+}
+
+void IncrementalGee::remove_edge(graph::VertexId u, graph::VertexId v,
+                                 graph::Weight w) {
+  add_edge(u, v, -w);
+  // add_edge counted +1; a removal nets the edge count down by two.
+  gee::par::write_add(edges_applied_,
+                      static_cast<std::uint64_t>(-2));
+}
+
+void IncrementalGee::add_edges(const graph::EdgeList& edges) {
+  gee::par::parallel_for(graph::EdgeId{0}, edges.num_edges(),
+                         [&](graph::EdgeId e) {
+                           add_edge(edges.src(e), edges.dst(e),
+                                    edges.weight(e));
+                         });
+}
+
+void IncrementalGee::remove_edges(const graph::EdgeList& edges) {
+  gee::par::parallel_for(graph::EdgeId{0}, edges.num_edges(),
+                         [&](graph::EdgeId e) {
+                           remove_edge(edges.src(e), edges.dst(e),
+                                       edges.weight(e));
+                         });
+}
+
+std::vector<Real> embed_out_of_sample(
+    const Projection& projection, std::span<const std::int32_t> labels,
+    std::span<const std::pair<graph::VertexId, graph::Weight>> neighbors) {
+  std::vector<Real> row(static_cast<std::size_t>(projection.num_classes),
+                        Real{0});
+  for (const auto& [v, w] : neighbors) {
+    if (v >= labels.size()) {
+      throw std::out_of_range("embed_out_of_sample: neighbor out of range");
+    }
+    const std::int32_t yv = labels[v];
+    if (yv >= 0) {
+      row[static_cast<std::size_t>(yv)] +=
+          projection.vertex_weight[v] * static_cast<Real>(w);
+    }
+  }
+  return row;
+}
+
+}  // namespace gee::core

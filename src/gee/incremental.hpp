@@ -1,0 +1,76 @@
+// Incremental and out-of-sample GEE (extension; not in the paper).
+//
+// GEE is linear in the edge multiset: Z is a sum of one term per edge.
+// Two consequences the batch API cannot exploit:
+//
+//  * streaming updates -- adding or removing an edge adjusts at most two
+//    rows of Z in O(K) time, with no re-pass over the graph. This is the
+//    natural "dynamic graph" follow-up to a single-pass algorithm (the
+//    paper's conclusion positions GEE for exactly such pipelines).
+//  * out-of-sample vertices -- a new vertex's embedding is computable from
+//    its neighbor list alone, without touching existing rows.
+//
+// The label vector and class counts are FIXED at construction: W depends
+// on global class sizes, so relabeling invalidates every accumulated term
+// (rebuild instead -- the batch pass is cheap, that is the paper's point).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "gee/embedding.hpp"
+#include "gee/gee.hpp"
+#include "gee/projection.hpp"
+#include "graph/edge_list.hpp"
+
+namespace gee::core {
+
+class IncrementalGee {
+ public:
+  /// Start from an empty graph over `labels` (n vertices, K classes as in
+  /// build_projection).
+  IncrementalGee(std::span<const std::int32_t> labels, int num_classes = 0);
+
+  /// Start from an existing batch result (takes ownership of its Z).
+  IncrementalGee(Result&& batch, std::span<const std::int32_t> labels);
+
+  /// Algorithm 1's two updates for one new edge; O(K) worst case, O(1)
+  /// writes. Thread-compatible with concurrent add_edge calls (atomic
+  /// accumulation), not with concurrent reads of embedding().
+  void add_edge(graph::VertexId u, graph::VertexId v, graph::Weight w = 1.0f);
+
+  /// Exact inverse of add_edge in real arithmetic (floating point leaves
+  /// rounding residue ~1 ulp per operation).
+  void remove_edge(graph::VertexId u, graph::VertexId v,
+                   graph::Weight w = 1.0f);
+
+  /// Bulk versions (parallel over the list).
+  void add_edges(const graph::EdgeList& edges);
+  void remove_edges(const graph::EdgeList& edges);
+
+  [[nodiscard]] const Embedding& embedding() const noexcept { return z_; }
+  [[nodiscard]] const Projection& projection() const noexcept {
+    return projection_;
+  }
+  [[nodiscard]] std::uint64_t edges_applied() const noexcept {
+    return edges_applied_;
+  }
+
+ private:
+  std::vector<std::int32_t> labels_;
+  Projection projection_;
+  Embedding z_;
+  std::uint64_t edges_applied_ = 0;
+};
+
+/// Embedding row for a vertex NOT in the graph, from its would-be neighbor
+/// list: z[Y(v)] += W(v, Y(v)) * w for each neighbor (v, w). This is the
+/// source-side update only -- the out-of-sample vertex receives mass; the
+/// in-sample rows are left untouched (one-directional by construction).
+std::vector<Real> embed_out_of_sample(
+    const Projection& projection, std::span<const std::int32_t> labels,
+    std::span<const std::pair<graph::VertexId, graph::Weight>> neighbors);
+
+}  // namespace gee::core

@@ -1,0 +1,77 @@
+// Public option types for One-Hot Graph Encoder Embedding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gee::core {
+
+/// Accumulation precision for the embedding matrix Z and projection W.
+using Real = double;
+
+/// Which implementation executes the edge pass. The first four reproduce
+/// the paper's Table I columns; the rest are ablations/extensions.
+enum class Backend : std::uint8_t {
+  /// Boxed-value bytecode interpreter (stand-in for the Python reference;
+  /// see DESIGN.md section 3 on this substitution).
+  kInterpreted,
+  /// Tight -O3 serial loop (stand-in for the Numba JIT version).
+  kCompiledSerial,
+  /// The engine code path of kLigraParallel pinned to one thread
+  /// (the paper's "GEE-Ligra Serial" column).
+  kLigraSerial,
+  /// Ligra-style dense-forward edgeMap with lock-free atomic writeAdd --
+  /// the paper's contribution (Algorithm 2).
+  kLigraParallel,
+  /// kLigraParallel with atomics replaced by racy load/add/store; the
+  /// paper's "atomics off" experiment (section IV). Results may drop
+  /// updates -- benchmarking only.
+  kParallelUnsafe,
+  /// Race-free two-sided pull: pass over out-CSR updates source rows, pass
+  /// over in-CSR updates destination rows; no atomics, deterministic.
+  /// (Extension; not in the paper.)
+  kParallelPull,
+  /// Plain OpenMP parallel-for over the raw edge array with atomics; no
+  /// graph engine. Baseline for the engine-ablation bench (A3).
+  kFlatParallel,
+};
+
+[[nodiscard]] std::string to_string(Backend backend);
+
+struct Options {
+  Backend backend = Backend::kLigraParallel;
+
+  /// Number of classes K. 0 = deduce as 1 + max(label). Labels must lie in
+  /// {-1} U [0, K).
+  int num_classes = 0;
+
+  /// Normalized-Laplacian preprocessing from the GEE reference code:
+  /// each edge weight becomes w / sqrt(d(u) * d(v)) with d the weighted
+  /// degree (both endpoints of every edge contribute; self-loops count
+  /// twice, matching the reference's accumarray over both columns).
+  bool laplacian = false;
+
+  /// Diagonal augmentation (reference code's DiagA): a unit self-loop per
+  /// vertex. Applied algebraically (a post-pass adds 2 * W(v) * w_loop to
+  /// Z(v, Y(v))) so no graph rebuild is needed.
+  bool diag_augment = false;
+
+  /// L2-normalize each nonzero embedding row afterwards (reference code's
+  /// "Correlation" option).
+  bool correlation = false;
+
+  /// Thread count for parallel backends; 0 = current OpenMP setting.
+  /// Serial backends ignore this.
+  int num_threads = 0;
+};
+
+/// Wall-clock breakdown of an embed() call (seconds).
+struct Timings {
+  double projection = 0;   ///< W construction (Algorithm 2 lines 2-6)
+  double edge_pass = 0;    ///< the O(s) loop / edgeMap (lines 7 / line 7)
+  double postprocess = 0;  ///< diag augmentation + row normalization
+  double graph_build = 0;  ///< CSR construction when embed_edges() needs one
+  double total = 0;
+};
+
+}  // namespace gee::core

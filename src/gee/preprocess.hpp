@@ -1,0 +1,41 @@
+// GEE preprocessing: weighted degrees and normalized-Laplacian reweighting.
+//
+// The GEE reference implementation's Laplacian option replaces every edge
+// weight w(u,v) by w / sqrt(d(u) * d(v)), where d is the weighted degree
+// accumulated over BOTH columns of the edge list (so a self-loop adds its
+// weight twice to its vertex). Degree conventions here match that exactly:
+//  * EdgeList: d[u] += w and d[v] += w per listed edge.
+//  * Graph: symmetric storage already holds both arc directions, so d =
+//    out-row weight sums; directed graphs use out + in sums.
+// diag_augment adds the unit self-loop's 2.0 contribution to each degree
+// before the transform (the reference applies DiagA before Laplacian).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gee/options.hpp"
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+
+namespace gee::core {
+
+/// Weighted degrees with the edge-list convention described above.
+std::vector<Real> weighted_degrees(const graph::EdgeList& edges,
+                                   bool diag_augment);
+
+/// Weighted degrees from a built Graph (same convention; see header note).
+std::vector<Real> weighted_degrees(const graph::Graph& g, bool diag_augment);
+
+/// Copy of `edges` with weights w / sqrt(d_u * d_v). Vertices of degree 0
+/// cannot appear on any edge, so the division is always well defined.
+graph::EdgeList reweight_laplacian(const graph::EdgeList& edges,
+                                   std::span<const Real> degrees);
+
+/// Graph with the same structure and Laplacian-transformed weights (new
+/// weight arrays; offsets/targets are copied -- this is a correctness
+/// feature, not a hot path).
+graph::Graph reweight_laplacian(const graph::Graph& g,
+                                std::span<const Real> degrees);
+
+}  // namespace gee::core

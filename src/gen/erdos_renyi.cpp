@@ -1,0 +1,117 @@
+#include "gen/erdos_renyi.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/scan.hpp"
+#include "util/rng.hpp"
+
+namespace gee::gen {
+
+namespace {
+
+constexpr std::size_t kChunkEdges = 1 << 16;
+
+}  // namespace
+
+graph::EdgeList erdos_renyi_gnm(VertexId n, EdgeId m, std::uint64_t seed,
+                                const ErdosRenyiOptions& options) {
+  if (n == 0 && m > 0) {
+    throw std::invalid_argument("erdos_renyi_gnm: edges on empty vertex set");
+  }
+  if (!options.allow_self_loops && n < 2 && m > 0) {
+    throw std::invalid_argument("erdos_renyi_gnm: loop-free needs n >= 2");
+  }
+  std::vector<VertexId> src(m), dst(m);
+  const std::size_t nchunks = (m + kChunkEdges - 1) / kChunkEdges;
+
+  gee::par::parallel_for_dynamic(std::size_t{0}, nchunks, [&](std::size_t c) {
+    gee::util::Xoshiro256 rng(seed, c);
+    const EdgeId lo = static_cast<EdgeId>(c) * kChunkEdges;
+    const EdgeId hi = std::min<EdgeId>(lo + kChunkEdges, m);
+    for (EdgeId e = lo; e < hi; ++e) {
+      auto u = static_cast<VertexId>(rng.next_below(n));
+      auto v = static_cast<VertexId>(rng.next_below(n));
+      while (!options.allow_self_loops && u == v) {
+        v = static_cast<VertexId>(rng.next_below(n));
+      }
+      src[e] = u;
+      dst[e] = v;
+    }
+  }, /*chunk=*/1);
+
+  return graph::EdgeList::adopt(n, std::move(src), std::move(dst));
+}
+
+graph::EdgeList erdos_renyi_gnp(VertexId n, double p, std::uint64_t seed,
+                                const ErdosRenyiOptions& options) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("erdos_renyi_gnp: p outside [0, 1]");
+  }
+  if (n == 0 || p == 0.0) return graph::EdgeList(n);
+
+  // Partition rows into fixed blocks; each block samples its rows with an
+  // independent stream, collecting into a local buffer. Geometric skipping:
+  // the gap to the next success of a Bernoulli(p) process is
+  // floor(log(1-u) / log(1-p)).
+  const std::size_t rows_per_block = 256;
+  const std::size_t nblocks = (n + rows_per_block - 1) / rows_per_block;
+  std::vector<std::vector<VertexId>> local_src(nblocks), local_dst(nblocks);
+
+  const double log1p_inv = p < 1.0 ? 1.0 / std::log1p(-p) : 0.0;
+
+  gee::par::parallel_for_dynamic(std::size_t{0}, nblocks, [&](std::size_t b) {
+    gee::util::Xoshiro256 rng(seed, b);
+    auto& bs = local_src[b];
+    auto& bd = local_dst[b];
+    const auto row_lo = static_cast<VertexId>(b * rows_per_block);
+    const auto row_hi = static_cast<VertexId>(
+        std::min<std::size_t>((b + 1) * rows_per_block, n));
+    for (VertexId u = row_lo; u < row_hi; ++u) {
+      if (p >= 1.0) {
+        for (VertexId v = 0; v < n; ++v) {
+          if (v == u && !options.allow_self_loops) continue;
+          bs.push_back(u);
+          bd.push_back(v);
+        }
+        continue;
+      }
+      // Skip through columns [0, n).
+      std::uint64_t col = 0;
+      for (;;) {
+        const double r = rng.next_double();
+        const auto gap =
+            static_cast<std::uint64_t>(std::log1p(-r) * log1p_inv);
+        col += gap;
+        if (col >= n) break;
+        const auto v = static_cast<VertexId>(col);
+        if (v != u || options.allow_self_loops) {
+          bs.push_back(u);
+          bd.push_back(v);
+        }
+        ++col;
+      }
+    }
+  }, /*chunk=*/1);
+
+  // Concatenate per-block buffers (sizes prefix-summed for parallel copy).
+  std::vector<std::size_t> sizes(nblocks);
+  for (std::size_t b = 0; b < nblocks; ++b) sizes[b] = local_src[b].size();
+  std::vector<std::size_t> offsets(nblocks);
+  const std::size_t total =
+      gee::par::scan_exclusive(sizes.data(), offsets.data(), nblocks);
+
+  std::vector<VertexId> src(total), dst(total);
+  gee::par::parallel_for_dynamic(std::size_t{0}, nblocks, [&](std::size_t b) {
+    std::copy(local_src[b].begin(), local_src[b].end(),
+              src.begin() + static_cast<std::ptrdiff_t>(offsets[b]));
+    std::copy(local_dst[b].begin(), local_dst[b].end(),
+              dst.begin() + static_cast<std::ptrdiff_t>(offsets[b]));
+  }, 1);
+
+  return graph::EdgeList::adopt(n, std::move(src), std::move(dst));
+}
+
+}  // namespace gee::gen

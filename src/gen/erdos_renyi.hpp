@@ -1,0 +1,36 @@
+// Erdős–Rényi random graph generators.
+//
+// Figure 4 of the paper sweeps G(n, m) graphs from 2^13 to 2^29 edges to
+// show GEE-Ligra's runtime grows linearly in the edge count; these
+// generators reproduce that workload. Both variants are parallel and
+// deterministic for a fixed seed regardless of thread count: the sample
+// space is split into fixed chunks and each chunk owns an independent RNG
+// stream derived from (seed, chunk_id).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace gee::gen {
+
+using graph::EdgeId;
+using graph::VertexId;
+
+struct ErdosRenyiOptions {
+  /// Permit u == v edges. Off by default (the paper's graphs are loop-free).
+  bool allow_self_loops = false;
+};
+
+/// G(n, m): exactly m edges with independently uniform endpoints (a
+/// multigraph in general, like the paper's generated inputs -- duplicate
+/// pairs occur with the natural birthday probability).
+graph::EdgeList erdos_renyi_gnm(VertexId n, EdgeId m, std::uint64_t seed,
+                                const ErdosRenyiOptions& options = {});
+
+/// G(n, p): every ordered pair (u, v), u != v, appears independently with
+/// probability p. Uses geometric skipping, O(expected edges) work.
+graph::EdgeList erdos_renyi_gnp(VertexId n, double p, std::uint64_t seed,
+                                const ErdosRenyiOptions& options = {});
+
+}  // namespace gee::gen

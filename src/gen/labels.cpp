@@ -1,0 +1,97 @@
+#include "gen/labels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
+#include "util/rng.hpp"
+
+namespace gee::gen {
+
+std::vector<std::int32_t> semi_supervised_labels(VertexId n, int num_classes,
+                                                 double fraction,
+                                                 std::uint64_t seed) {
+  if (num_classes <= 0) {
+    throw std::invalid_argument("semi_supervised_labels: num_classes <= 0");
+  }
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("semi_supervised_labels: fraction not in [0,1]");
+  }
+  std::vector<std::int32_t> labels(n, -1);
+  const auto target =
+      static_cast<VertexId>(std::llround(fraction * static_cast<double>(n)));
+  if (target == 0) return labels;
+
+  // Select exactly `target` vertices: partial Fisher-Yates over [0, n)
+  // (serial -- label generation is a negligible cost next to edge passes,
+  // and exact-count selection keeps parity with the paper's setup).
+  gee::util::Xoshiro256 rng(seed);
+  std::vector<VertexId> ids(n);
+  for (VertexId v = 0; v < n; ++v) ids[v] = v;
+  for (VertexId i = 0; i < target; ++i) {
+    const auto j =
+        static_cast<VertexId>(i + rng.next_below(n - i));
+    std::swap(ids[i], ids[j]);
+  }
+  for (VertexId i = 0; i < target; ++i) {
+    labels[ids[i]] = static_cast<std::int32_t>(
+        rng.next_below(static_cast<std::uint64_t>(num_classes)));
+  }
+  return labels;
+}
+
+std::vector<std::int32_t> observe_labels(std::span<const std::int32_t> truth,
+                                         double fraction, std::uint64_t seed) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("observe_labels: fraction not in [0,1]");
+  }
+  std::vector<std::int32_t> labels(truth.size(), -1);
+  constexpr std::size_t kChunk = 1 << 14;
+  const std::size_t nchunks = (truth.size() + kChunk - 1) / kChunk;
+  gee::par::parallel_for_dynamic(std::size_t{0}, nchunks, [&](std::size_t c) {
+    gee::util::Xoshiro256 rng(seed, c);
+    const std::size_t lo = c * kChunk;
+    const std::size_t hi = std::min(lo + kChunk, truth.size());
+    for (std::size_t v = lo; v < hi; ++v) {
+      if (rng.next_bool(fraction)) labels[v] = truth[v];
+    }
+  }, 1);
+  return labels;
+}
+
+std::vector<std::int32_t> observe_labels_exact(
+    std::span<const std::int32_t> truth, double fraction, std::uint64_t seed) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("observe_labels_exact: fraction not in [0,1]");
+  }
+  const auto n = static_cast<VertexId>(truth.size());
+  std::vector<std::int32_t> labels(n, -1);
+  const auto target =
+      static_cast<VertexId>(std::llround(fraction * static_cast<double>(n)));
+  if (target == 0) return labels;
+
+  gee::util::Xoshiro256 rng(seed);
+  std::vector<VertexId> ids(n);
+  for (VertexId v = 0; v < n; ++v) ids[v] = v;
+  for (VertexId i = 0; i < target; ++i) {
+    const auto j = static_cast<VertexId>(i + rng.next_below(n - i));
+    std::swap(ids[i], ids[j]);
+    labels[ids[i]] = truth[ids[i]];
+  }
+  return labels;
+}
+
+int num_classes(std::span<const std::int32_t> labels) {
+  const std::int32_t mx = gee::par::reduce_max<std::int32_t>(
+      labels.size(), -1, [&](std::size_t i) { return labels[i]; });
+  return mx + 1;
+}
+
+VertexId num_labeled(std::span<const std::int32_t> labels) {
+  return static_cast<VertexId>(gee::par::count_if(
+      labels.size(), [&](std::size_t i) { return labels[i] >= 0; }));
+}
+
+}  // namespace gee::gen

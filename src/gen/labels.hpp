@@ -1,0 +1,50 @@
+// Class-label generation for semi-supervised GEE.
+//
+// The paper's experimental configuration (section IV): "We generated the Y
+// labels uniformly at random from [0, K = 50] for 10% of nodes, which were
+// also selected uniformly at random." semi_supervised_labels reproduces
+// exactly that; observe_labels derives a partially observed label vector
+// from a ground-truth one (SBM experiments).
+//
+// Label convention throughout this project: Y[v] in {-1, 0, .., K-1}, with
+// -1 meaning "class unknown" (the paper writes the unknown class as k = 0
+// in its 1-indexed formulation; we use -1 so class ids are 0-indexed).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace gee::gen {
+
+using graph::VertexId;
+
+/// Uniform labels in [0, num_classes) for round(fraction * n) vertices
+/// chosen uniformly at random; everyone else gets -1.
+/// Deterministic for fixed (n, num_classes, fraction, seed) regardless of
+/// thread count.
+std::vector<std::int32_t> semi_supervised_labels(VertexId n, int num_classes,
+                                                 double fraction,
+                                                 std::uint64_t seed);
+
+/// Keep each vertex's ground-truth label with probability `fraction`
+/// (independently); others become -1. The revealed count fluctuates
+/// binomially -- use observe_labels_exact when the count must be fixed.
+std::vector<std::int32_t> observe_labels(std::span<const std::int32_t> truth,
+                                         double fraction, std::uint64_t seed);
+
+/// Reveal the ground-truth labels of exactly round(fraction * n) vertices
+/// chosen uniformly at random (the paper's configuration: an exact 10%
+/// sample); others become -1. Serial like semi_supervised_labels.
+std::vector<std::int32_t> observe_labels_exact(
+    std::span<const std::int32_t> truth, double fraction, std::uint64_t seed);
+
+/// Number of classes = 1 + max label (ignoring -1); 0 for all-unknown.
+int num_classes(std::span<const std::int32_t> labels);
+
+/// Count of vertices with a known (non-negative) label.
+VertexId num_labeled(std::span<const std::int32_t> labels);
+
+}  // namespace gee::gen

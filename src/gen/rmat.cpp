@@ -1,0 +1,114 @@
+#include "gen/rmat.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <tuple>
+
+#include "graph/transform.hpp"
+#include "parallel/parallel_for.hpp"
+#include "util/rng.hpp"
+
+namespace gee::gen {
+
+namespace {
+
+constexpr std::size_t kChunkEdges = 1 << 16;
+
+/// One R-MAT edge: descend `scale` levels, picking a quadrant per level.
+template <class Rng>
+std::pair<VertexId, VertexId> rmat_edge(Rng& rng, int scale, double a,
+                                        double ab, double abc) {
+  VertexId u = 0, v = 0;
+  for (int level = 0; level < scale; ++level) {
+    const double r = rng.next_double();
+    u <<= 1;
+    v <<= 1;
+    if (r < a) {
+      // top-left: no bits set
+    } else if (r < ab) {
+      v |= 1;  // top-right
+    } else if (r < abc) {
+      u |= 1;  // bottom-left
+    } else {
+      u |= 1;  // bottom-right
+      v |= 1;
+    }
+  }
+  return {u, v};
+}
+
+}  // namespace
+
+graph::EdgeList rmat(int scale, EdgeId edge_factor, std::uint64_t seed,
+                     const RmatOptions& options) {
+  if (scale <= 0 || scale > 31) {
+    throw std::invalid_argument("rmat: scale must be in [1, 31]");
+  }
+  const double sum = options.a + options.b + options.c + options.d;
+  if (std::abs(sum - 1.0) > 1e-9) {
+    throw std::invalid_argument("rmat: quadrant probabilities must sum to 1");
+  }
+  const auto n = static_cast<VertexId>(VertexId{1} << scale);
+  const EdgeId m = edge_factor * static_cast<EdgeId>(n);
+  const double a = options.a;
+  const double ab = a + options.b;
+  const double abc = ab + options.c;
+
+  std::vector<VertexId> src(m), dst(m);
+  const std::size_t nchunks = (m + kChunkEdges - 1) / kChunkEdges;
+  gee::par::parallel_for_dynamic(std::size_t{0}, nchunks, [&](std::size_t ch) {
+    gee::util::Xoshiro256 rng(seed, ch);
+    const EdgeId lo = static_cast<EdgeId>(ch) * kChunkEdges;
+    const EdgeId hi = std::min<EdgeId>(lo + kChunkEdges, m);
+    for (EdgeId e = lo; e < hi; ++e) {
+      auto [u, v] = rmat_edge(rng, scale, a, ab, abc);
+      while (!options.allow_self_loops && u == v) {
+        std::tie(u, v) = rmat_edge(rng, scale, a, ab, abc);
+      }
+      src[e] = u;
+      dst[e] = v;
+    }
+  }, /*chunk=*/1);
+
+  auto edges = graph::EdgeList::adopt(n, std::move(src), std::move(dst));
+  if (options.permute_vertices) {
+    edges = graph::relabel_vertices(
+        edges, graph::random_permutation(n, gee::util::hash_combine(seed, 0x9e)));
+  }
+  return edges;
+}
+
+graph::EdgeList rmat_approx(VertexId n, EdgeId m, std::uint64_t seed,
+                            const RmatOptions& options) {
+  if (n < 2) throw std::invalid_argument("rmat_approx: n must be >= 2");
+  int scale = 1;
+  while ((VertexId{1} << scale) < n && scale < 31) ++scale;
+
+  // Generate at the enclosing power of two, then fold ids into [0, n).
+  // Folding by modulo keeps the skew (high-degree roots stay high degree).
+  RmatOptions folded = options;
+  folded.permute_vertices = false;  // permute after folding instead
+  const auto pow2 = static_cast<EdgeId>(VertexId{1} << scale);
+  const EdgeId edge_factor = std::max<EdgeId>(1, (m + pow2 - 1) / pow2);
+  graph::EdgeList edges = rmat(scale, edge_factor, seed, folded);
+
+  const EdgeId keep = std::min<EdgeId>(m, edges.num_edges());
+  std::vector<VertexId> src(keep), dst(keep);
+  gee::par::parallel_for(EdgeId{0}, keep, [&](EdgeId e) {
+    VertexId u = edges.src(e) % n;
+    VertexId v = edges.dst(e) % n;
+    if (u == v && !options.allow_self_loops) {
+      v = (v + 1) % n;  // deterministic nudge off the diagonal
+    }
+    src[e] = u;
+    dst[e] = v;
+  });
+  auto out = graph::EdgeList::adopt(n, std::move(src), std::move(dst));
+  if (options.permute_vertices) {
+    out = graph::relabel_vertices(
+        out, graph::random_permutation(n, gee::util::hash_combine(seed, 0x9e)));
+  }
+  return out;
+}
+
+}  // namespace gee::gen

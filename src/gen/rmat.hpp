@@ -1,0 +1,41 @@
+// R-MAT (recursive matrix) generator: skewed-degree synthetic graphs.
+//
+// The Table I experiments run on SNAP social networks (Twitch .. Friendster)
+// that cannot be downloaded in this offline environment. R-MAT graphs with
+// matched (n, m) are the standard stand-in: the recursive quadrant
+// construction yields the heavy-tailed degree distributions that drive the
+// cache-miss behaviour the paper analyzes (random accesses to Z(v,:) and
+// W(v,:), section III). Vertex ids are randomly permuted by default so the
+// power-law structure is not correlated with id locality.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace gee::gen {
+
+using graph::EdgeId;
+using graph::VertexId;
+
+struct RmatOptions {
+  /// Quadrant probabilities; Graph500 defaults. Must sum to 1.
+  double a = 0.57, b = 0.19, c = 0.19, d = 0.05;
+  /// Randomly relabel vertices (recommended; see header comment).
+  bool permute_vertices = true;
+  /// Drop u == v edges (resampled).
+  bool allow_self_loops = false;
+};
+
+/// 2^scale vertices, edge_factor * 2^scale edges (a multigraph: duplicate
+/// pairs are kept, as in reference R-MAT implementations).
+graph::EdgeList rmat(int scale, EdgeId edge_factor, std::uint64_t seed,
+                     const RmatOptions& options = {});
+
+/// Convenience: R-MAT with approximately the requested vertex and edge
+/// counts (scale = ceil(log2 n); surplus vertices beyond n are folded in
+/// by modulo, preserving the skewed structure).
+graph::EdgeList rmat_approx(VertexId n, EdgeId m, std::uint64_t seed,
+                            const RmatOptions& options = {});
+
+}  // namespace gee::gen

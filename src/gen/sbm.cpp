@@ -1,0 +1,139 @@
+#include "gen/sbm.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/scan.hpp"
+#include "util/rng.hpp"
+
+namespace gee::gen {
+
+SbmParams SbmParams::balanced(VertexId n, int num_blocks, double p_in,
+                              double p_out) {
+  SbmParams params;
+  params.block_sizes.assign(static_cast<std::size_t>(num_blocks),
+                            n / static_cast<VertexId>(num_blocks));
+  // Distribute the remainder over the first blocks.
+  for (VertexId r = 0; r < n % static_cast<VertexId>(num_blocks); ++r) {
+    params.block_sizes[r]++;
+  }
+  params.connectivity.assign(
+      static_cast<std::size_t>(num_blocks),
+      std::vector<double>(static_cast<std::size_t>(num_blocks), p_out));
+  for (int k = 0; k < num_blocks; ++k) {
+    params.connectivity[static_cast<std::size_t>(k)]
+                       [static_cast<std::size_t>(k)] = p_in;
+  }
+  return params;
+}
+
+VertexId SbmParams::num_vertices() const {
+  return std::accumulate(block_sizes.begin(), block_sizes.end(), VertexId{0});
+}
+
+void SbmParams::validate() const {
+  const auto k = block_sizes.size();
+  if (k == 0) throw std::invalid_argument("SbmParams: no blocks");
+  if (connectivity.size() != k) {
+    throw std::invalid_argument("SbmParams: connectivity rows != blocks");
+  }
+  for (std::size_t a = 0; a < k; ++a) {
+    if (connectivity[a].size() != k) {
+      throw std::invalid_argument("SbmParams: connectivity not square");
+    }
+    for (std::size_t b = 0; b < k; ++b) {
+      const double p = connectivity[a][b];
+      if (p < 0.0 || p > 1.0) {
+        throw std::invalid_argument("SbmParams: probability outside [0,1]");
+      }
+      if (std::abs(p - connectivity[b][a]) > 1e-12) {
+        throw std::invalid_argument("SbmParams: connectivity not symmetric");
+      }
+    }
+  }
+}
+
+SbmResult sbm(const SbmParams& params, std::uint64_t seed) {
+  params.validate();
+  const VertexId n = params.num_vertices();
+  const auto k = params.block_sizes.size();
+
+  // Block boundaries and per-vertex labels.
+  std::vector<VertexId> block_start(k + 1, 0);
+  for (std::size_t b = 0; b < k; ++b) {
+    block_start[b + 1] = block_start[b] + params.block_sizes[b];
+  }
+  std::vector<std::int32_t> labels(n);
+  gee::par::parallel_for(std::size_t{0}, k, [&](std::size_t b) {
+    for (VertexId v = block_start[b]; v < block_start[b + 1]; ++v) {
+      labels[v] = static_cast<std::int32_t>(b);
+    }
+  }, /*grain=*/1);
+
+  // Sample row by row: for row u, walk each block's column range restricted
+  // to v > u with geometric skipping at that block pair's probability.
+  // Rows are grouped into fixed blocks for deterministic parallelism.
+  const std::size_t rows_per_chunk = 128;
+  const std::size_t nchunks = (n + rows_per_chunk - 1) / rows_per_chunk;
+  std::vector<std::vector<VertexId>> local_src(nchunks), local_dst(nchunks);
+
+  gee::par::parallel_for_dynamic(std::size_t{0}, nchunks, [&](std::size_t c) {
+    gee::util::Xoshiro256 rng(seed, c);
+    auto& cs = local_src[c];
+    auto& cd = local_dst[c];
+    const auto row_lo = static_cast<VertexId>(c * rows_per_chunk);
+    const auto row_hi = static_cast<VertexId>(
+        std::min<std::size_t>((c + 1) * rows_per_chunk, n));
+    for (VertexId u = row_lo; u < row_hi; ++u) {
+      const auto bu = static_cast<std::size_t>(labels[u]);
+      for (std::size_t bv = 0; bv < k; ++bv) {
+        const double p = params.connectivity[bu][bv];
+        if (p <= 0.0) continue;
+        // Columns of block bv with v > u.
+        const VertexId col_lo = std::max<VertexId>(block_start[bv], u + 1);
+        const VertexId col_hi = block_start[bv + 1];
+        if (col_lo >= col_hi) continue;
+        if (p >= 1.0) {
+          for (VertexId v = col_lo; v < col_hi; ++v) {
+            cs.push_back(u);
+            cd.push_back(v);
+          }
+          continue;
+        }
+        const double log1p_inv = 1.0 / std::log1p(-p);
+        std::uint64_t col = col_lo;
+        for (;;) {
+          const double r = rng.next_double();
+          col += static_cast<std::uint64_t>(std::log1p(-r) * log1p_inv);
+          if (col >= col_hi) break;
+          cs.push_back(u);
+          cd.push_back(static_cast<VertexId>(col));
+          ++col;
+        }
+      }
+    }
+  }, /*chunk=*/1);
+
+  std::vector<std::size_t> sizes(nchunks), offsets(nchunks);
+  for (std::size_t c = 0; c < nchunks; ++c) sizes[c] = local_src[c].size();
+  const std::size_t total =
+      gee::par::scan_exclusive(sizes.data(), offsets.data(), nchunks);
+
+  std::vector<VertexId> src(total), dst(total);
+  gee::par::parallel_for_dynamic(std::size_t{0}, nchunks, [&](std::size_t c) {
+    std::copy(local_src[c].begin(), local_src[c].end(),
+              src.begin() + static_cast<std::ptrdiff_t>(offsets[c]));
+    std::copy(local_dst[c].begin(), local_dst[c].end(),
+              dst.begin() + static_cast<std::ptrdiff_t>(offsets[c]));
+  }, 1);
+
+  SbmResult result;
+  result.edges =
+      graph::EdgeList::adopt(n, std::move(src), std::move(dst));
+  result.labels = std::move(labels);
+  return result;
+}
+
+}  // namespace gee::gen

@@ -1,0 +1,46 @@
+// Stochastic block model generator.
+//
+// GEE's statistical guarantees are stated for random dot product graphs,
+// with the SBM as the canonical special case: k-means on the embedding of
+// an SBM graph should recover the planted blocks. The gee statistical
+// tests and the community-detection example use this generator as ground
+// truth. Undirected output: each {u, v} pair (u < v) is sampled once with
+// probability B[block(u)][block(v)], then emitted as a single edge (build
+// the Graph with GraphKind::kUndirected to mirror it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace gee::gen {
+
+using graph::VertexId;
+
+struct SbmParams {
+  /// Vertices per block; vertex ids are assigned contiguously per block.
+  std::vector<VertexId> block_sizes;
+  /// Symmetric K x K connection probabilities.
+  std::vector<std::vector<double>> connectivity;
+
+  /// Balanced K-block model: p_in on the diagonal, p_out elsewhere.
+  static SbmParams balanced(VertexId n, int num_blocks, double p_in,
+                            double p_out);
+
+  [[nodiscard]] VertexId num_vertices() const;
+  [[nodiscard]] int num_blocks() const {
+    return static_cast<int>(block_sizes.size());
+  }
+  /// Throws std::invalid_argument if sizes/probabilities are inconsistent.
+  void validate() const;
+};
+
+struct SbmResult {
+  graph::EdgeList edges;           ///< one entry per undirected edge (u < v)
+  std::vector<std::int32_t> labels;  ///< ground-truth block of each vertex
+};
+
+SbmResult sbm(const SbmParams& params, std::uint64_t seed);
+
+}  // namespace gee::gen

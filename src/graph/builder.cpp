@@ -1,0 +1,128 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/atomics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
+#include "parallel/scan.hpp"
+
+namespace gee::graph {
+
+namespace {
+
+/// Sort each row's (target, weight) pairs by target id. Rows are independent,
+/// so this parallelizes over vertices; dynamic schedule handles skew.
+void sort_rows(std::span<const EdgeId> offsets, std::vector<VertexId>& targets,
+               std::vector<Weight>& weights) {
+  const auto n = static_cast<VertexId>(offsets.size() - 1);
+  const bool weighted = !weights.empty();
+  gee::par::parallel_for_dynamic(VertexId{0}, n, [&](VertexId u) {
+    const EdgeId lo = offsets[u];
+    const EdgeId hi = offsets[u + 1];
+    if (hi - lo < 2) return;
+    if (!weighted) {
+      std::sort(targets.begin() + static_cast<std::ptrdiff_t>(lo),
+                targets.begin() + static_cast<std::ptrdiff_t>(hi));
+      return;
+    }
+    // Zip-sort via an index permutation; rows are short so the scratch
+    // allocations stay in the per-thread cache.
+    const auto len = static_cast<std::size_t>(hi - lo);
+    std::vector<std::uint32_t> idx(len);
+    std::iota(idx.begin(), idx.end(), 0u);
+    // Tie-break equal targets on weight: multi-edges then have a canonical
+    // order, so the layout is identical across thread counts.
+    std::sort(idx.begin(), idx.end(), [&](std::uint32_t a, std::uint32_t b) {
+      if (targets[lo + a] != targets[lo + b])
+        return targets[lo + a] < targets[lo + b];
+      return weights[lo + a] < weights[lo + b];
+    });
+    std::vector<VertexId> t(len);
+    std::vector<Weight> w(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      t[i] = targets[lo + idx[i]];
+      w[i] = weights[lo + idx[i]];
+    }
+    std::copy(t.begin(), t.end(),
+              targets.begin() + static_cast<std::ptrdiff_t>(lo));
+    std::copy(w.begin(), w.end(),
+              weights.begin() + static_cast<std::ptrdiff_t>(lo));
+  });
+}
+
+/// Shared scatter core: counts[v] must hold out-degrees; returns a Csr whose
+/// row v contains {dst(e), w(e)} for every edge e with key(e) == v.
+template <class KeyFn, class DstFn, class WeightFn>
+Csr scatter_build(VertexId n, EdgeId m, bool weighted, KeyFn&& key,
+                  DstFn&& dst, WeightFn&& weight, bool sort_neighbors) {
+  std::vector<EdgeId> degree(static_cast<std::size_t>(n) + 1, 0);
+  gee::par::parallel_for(EdgeId{0}, m, [&](EdgeId e) {
+    gee::par::write_add(degree[key(e)], EdgeId{1});
+  });
+
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1);
+  gee::par::scan_exclusive(degree.data(), offsets.data(), degree.size());
+
+  std::vector<VertexId> targets(m);
+  std::vector<Weight> weights(weighted ? m : 0);
+  // Reuse `degree` as the per-vertex write cursor (reset to row starts).
+  gee::par::parallel_for(std::size_t{0}, static_cast<std::size_t>(n) + 1,
+                         [&](std::size_t i) { degree[i] = offsets[i]; });
+  gee::par::parallel_for(EdgeId{0}, m, [&](EdgeId e) {
+    const VertexId u = key(e);
+    std::atomic_ref<EdgeId> cursor(degree[u]);
+    const EdgeId pos = cursor.fetch_add(1, std::memory_order_relaxed);
+    targets[pos] = dst(e);
+    if (weighted) weights[pos] = weight(e);
+  });
+
+  if (sort_neighbors) sort_rows(offsets, targets, weights);
+  return Csr(std::move(offsets), std::move(targets), std::move(weights));
+}
+
+}  // namespace
+
+Csr build_csr(const EdgeList& edges, VertexId n, BuildOptions options) {
+  const EdgeId m = edges.num_edges();
+  const auto srcs = edges.srcs();
+  const auto dsts = edges.dsts();
+
+  // Validate up front: a bad vertex id would otherwise corrupt the scatter.
+  const bool in_range = gee::par::reduce<bool>(
+      m, true, [&](std::size_t e) { return srcs[e] < n && dsts[e] < n; },
+      [](bool a, bool b) { return a && b; });
+  if (!in_range) {
+    throw std::out_of_range("build_csr: edge references vertex >= n");
+  }
+
+  return scatter_build(
+      n, m, edges.weighted(), [&](EdgeId e) { return srcs[e]; },
+      [&](EdgeId e) { return dsts[e]; }, [&](EdgeId e) { return edges.weight(e); },
+      options.sort_neighbors);
+}
+
+Csr transpose(const Csr& csr) {
+  const VertexId n = csr.num_vertices();
+  const EdgeId m = csr.num_edges();
+  const auto offsets = csr.offsets();
+  const auto targets = csr.targets();
+
+  // Edge e's source is the row containing position e; precompute it once so
+  // the scatter's key lookup is O(1) instead of a binary search per edge.
+  std::vector<VertexId> source_of(m);
+  gee::par::parallel_for_dynamic(VertexId{0}, n, [&](VertexId u) {
+    for (EdgeId e = offsets[u]; e < offsets[u + 1]; ++e) source_of[e] = u;
+  });
+
+  return scatter_build(
+      n, m, csr.weighted(), [&](EdgeId e) { return targets[e]; },
+      [&](EdgeId e) { return source_of[e]; },
+      [&](EdgeId e) { return csr.weight_at(e); },
+      /*sort_neighbors=*/true);
+}
+
+}  // namespace gee::graph

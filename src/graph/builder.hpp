@@ -1,0 +1,25 @@
+// Parallel CSR construction and transposition.
+//
+// Build strategy (see DESIGN.md): degree counting with per-edge atomic
+// increments, prefix-sum of degrees into offsets, then atomic-cursor scatter
+// of (target, weight) pairs. The scatter places each vertex's neighbors in a
+// nondeterministic order, so with sort_neighbors (the default) every row is
+// then sorted by target id, giving a layout that is bit-identical across
+// thread counts. This avoids the threads*n count matrix a stable global
+// counting sort would need at 65M+ vertices.
+#pragma once
+
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+
+namespace gee::graph {
+
+/// Build the out-CSR of `edges` over vertex set [0, n).
+/// Throws std::out_of_range if an edge references a vertex >= n.
+Csr build_csr(const EdgeList& edges, VertexId n, BuildOptions options = {});
+
+/// Transpose: CSR of reversed edges. Weighted inputs keep per-edge weights.
+/// Rows of the result are sorted by target id.
+Csr transpose(const Csr& csr);
+
+}  // namespace gee::graph

@@ -1,0 +1,40 @@
+#include "graph/edge_list.hpp"
+
+#include <stdexcept>
+
+namespace gee::graph {
+
+void EdgeList::add(VertexId u, VertexId v) {
+  src_.push_back(u);
+  dst_.push_back(v);
+  if (!weights_.empty()) weights_.push_back(Weight{1});
+  const VertexId hi = (u > v ? u : v) + 1;
+  if (hi > num_vertices_) num_vertices_ = hi;
+}
+
+void EdgeList::add(VertexId u, VertexId v, Weight w) {
+  if (weights_.empty() && !src_.empty()) {
+    weights_.assign(src_.size(), Weight{1});
+  }
+  src_.push_back(u);
+  dst_.push_back(v);
+  weights_.push_back(w);
+  const VertexId hi = (u > v ? u : v) + 1;
+  if (hi > num_vertices_) num_vertices_ = hi;
+}
+
+EdgeList EdgeList::adopt(VertexId num_vertices, std::vector<VertexId> src,
+                         std::vector<VertexId> dst,
+                         std::vector<Weight> weights) {
+  if (src.size() != dst.size() ||
+      (!weights.empty() && weights.size() != src.size())) {
+    throw std::invalid_argument("EdgeList::adopt: array lengths differ");
+  }
+  EdgeList el(num_vertices);
+  el.src_ = std::move(src);
+  el.dst_ = std::move(dst);
+  el.weights_ = std::move(weights);
+  return el;
+}
+
+}  // namespace gee::graph

@@ -1,0 +1,86 @@
+// EdgeList: structure-of-arrays edge container (Algorithm 1's matrix E).
+//
+// The interpreted and compiled-serial GEE backends operate on this container
+// directly, mirroring the reference implementation's single pass over the
+// edge array; the engine backends first build a CSR Graph from it.
+// Weights are optional: an unweighted list stores no weight array and all
+// weight accessors return 1 (the paper's graphs are unweighted).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace gee::graph {
+
+class EdgeList {
+ public:
+  EdgeList() = default;
+
+  /// Construct with a fixed vertex-count bound; edges may reference any
+  /// vertex in [0, num_vertices).
+  explicit EdgeList(VertexId num_vertices) : num_vertices_(num_vertices) {}
+
+  /// Number of vertices; grows automatically as edges are added.
+  [[nodiscard]] VertexId num_vertices() const noexcept { return num_vertices_; }
+  [[nodiscard]] EdgeId num_edges() const noexcept { return src_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return src_.empty(); }
+  [[nodiscard]] bool weighted() const noexcept { return !weights_.empty(); }
+
+  void reserve(std::size_t n) {
+    src_.reserve(n);
+    dst_.reserve(n);
+    if (weighted()) weights_.reserve(n);
+  }
+
+  /// Append an unweighted (unit-weight) edge.
+  void add(VertexId u, VertexId v);
+
+  /// Append a weighted edge. The first weighted add on an unweighted list
+  /// materializes unit weights for all earlier edges.
+  void add(VertexId u, VertexId v, Weight w);
+
+  /// Raise the vertex-count bound (no-op if already larger).
+  void ensure_vertices(VertexId n) {
+    if (n > num_vertices_) num_vertices_ = n;
+  }
+
+  [[nodiscard]] Edge edge(std::size_t i) const noexcept {
+    return {src_[i], dst_[i], weight(i)};
+  }
+  [[nodiscard]] VertexId src(std::size_t i) const noexcept { return src_[i]; }
+  [[nodiscard]] VertexId dst(std::size_t i) const noexcept { return dst_[i]; }
+  [[nodiscard]] Weight weight(std::size_t i) const noexcept {
+    return weights_.empty() ? Weight{1} : weights_[i];
+  }
+
+  [[nodiscard]] std::span<const VertexId> srcs() const noexcept { return src_; }
+  [[nodiscard]] std::span<const VertexId> dsts() const noexcept { return dst_; }
+  /// Empty span when the list is unweighted.
+  [[nodiscard]] std::span<const Weight> weights() const noexcept {
+    return weights_;
+  }
+
+  /// Bulk construction from parallel generators: adopt prebuilt arrays.
+  /// `weights` may be empty (unweighted). Vectors must have equal length.
+  static EdgeList adopt(VertexId num_vertices, std::vector<VertexId> src,
+                        std::vector<VertexId> dst,
+                        std::vector<Weight> weights = {});
+
+  /// Mutable access for in-place transforms (transform.hpp).
+  std::vector<VertexId>& mutable_srcs() noexcept { return src_; }
+  std::vector<VertexId>& mutable_dsts() noexcept { return dst_; }
+  std::vector<Weight>& mutable_weights() noexcept { return weights_; }
+
+  friend bool operator==(const EdgeList&, const EdgeList&) = default;
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<VertexId> src_;
+  std::vector<VertexId> dst_;
+  std::vector<Weight> weights_;  // empty == all unit
+};
+
+}  // namespace gee::graph

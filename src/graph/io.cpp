@@ -1,0 +1,259 @@
+#include "graph/io.hpp"
+
+#include <array>
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace gee::graph {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, std::size_t line,
+                       const std::string& what) {
+  throw std::runtime_error(path + ":" + std::to_string(line) + ": " + what);
+}
+
+/// Read an entire file into a string (text parsing works on one buffer;
+/// edge-list files are small relative to the graphs we generate in memory).
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open '" + path + "' for reading");
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+bool parse_u32(const char*& p, const char* end, std::uint32_t& out) {
+  while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+  auto [next, ec] = std::from_chars(p, end, out);
+  if (ec != std::errc{} || next == p) return false;
+  p = next;
+  return true;
+}
+
+bool parse_f32(const char*& p, const char* end, float& out) {
+  while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+  auto [next, ec] = std::from_chars(p, end, out);
+  if (ec != std::errc{} || next == p) return false;
+  p = next;
+  return true;
+}
+
+bool at_line_end(const char* p, const char* end) {
+  while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+  return p == end;
+}
+
+}  // namespace
+
+EdgeList read_edge_list_text(const std::string& path,
+                             const TextReadOptions& options) {
+  const std::string data = slurp(path);
+  EdgeList edges;
+  std::size_t lineno = 0;
+  const char* p = data.data();
+  const char* const end = p + data.size();
+
+  while (p < end) {
+    ++lineno;
+    const char* line_end = static_cast<const char*>(
+        std::memchr(p, '\n', static_cast<std::size_t>(end - p)));
+    if (line_end == nullptr) line_end = end;
+
+    const char* q = p;
+    while (q < line_end && (*q == ' ' || *q == '\t' || *q == '\r')) ++q;
+    if (q == line_end ||
+        options.comment_prefixes.find(*q) != std::string::npos) {
+      p = line_end + 1;
+      continue;  // blank or comment line
+    }
+
+    std::uint32_t u = 0, v = 0;
+    if (!parse_u32(q, line_end, u) || !parse_u32(q, line_end, v)) {
+      fail(path, lineno, "expected 'src dst [weight]'");
+    }
+    float w = 1.0f;
+    bool has_w = false;
+    if (!at_line_end(q, line_end)) {
+      if (!options.allow_weights || !parse_f32(q, line_end, w)) {
+        fail(path, lineno, "unexpected trailing token");
+      }
+      has_w = true;
+      if (!at_line_end(q, line_end)) fail(path, lineno, "too many fields");
+    }
+    if (has_w) {
+      edges.add(u, v, w);
+    } else {
+      edges.add(u, v);
+    }
+    p = line_end + 1;
+  }
+  return edges;
+}
+
+void write_edge_list_text(const EdgeList& edges, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open '" + path + "' for writing");
+  f << "# nodes " << edges.num_vertices() << " edges " << edges.num_edges()
+    << "\n";
+  const bool weighted = edges.weighted();
+  for (EdgeId e = 0; e < edges.num_edges(); ++e) {
+    f << edges.src(e) << ' ' << edges.dst(e);
+    if (weighted) f << ' ' << edges.weight(e);
+    f << '\n';
+  }
+  if (!f) throw std::runtime_error("write to '" + path + "' failed");
+}
+
+namespace {
+
+constexpr std::array<char, 4> kEdgeListMagic{'G', 'E', 'E', 'B'};
+constexpr std::uint32_t kBinaryVersion = 1;
+
+template <class T>
+void write_pod(std::ofstream& f, const T& v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <class T>
+void read_pod(std::ifstream& f, T& v, const std::string& path) {
+  f.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!f) throw std::runtime_error("'" + path + "': truncated binary graph");
+}
+
+template <class T>
+void write_array(std::ofstream& f, std::span<const T> a) {
+  f.write(reinterpret_cast<const char*>(a.data()),
+          static_cast<std::streamsize>(a.size() * sizeof(T)));
+}
+
+template <class T>
+void read_array(std::ifstream& f, std::vector<T>& a, std::size_t count,
+                const std::string& path) {
+  a.resize(count);
+  f.read(reinterpret_cast<char*>(a.data()),
+         static_cast<std::streamsize>(count * sizeof(T)));
+  if (!f) throw std::runtime_error("'" + path + "': truncated binary graph");
+}
+
+}  // namespace
+
+void write_edge_list_binary(const EdgeList& edges, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open '" + path + "' for writing");
+  f.write(kEdgeListMagic.data(), kEdgeListMagic.size());
+  write_pod(f, kBinaryVersion);
+  write_pod(f, edges.num_vertices());
+  write_pod(f, edges.num_edges());
+  const std::uint8_t weighted = edges.weighted() ? 1 : 0;
+  write_pod(f, weighted);
+  write_array(f, edges.srcs());
+  write_array(f, edges.dsts());
+  if (weighted) write_array(f, edges.weights());
+  if (!f) throw std::runtime_error("write to '" + path + "' failed");
+}
+
+EdgeList read_edge_list_binary(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open '" + path + "' for reading");
+  std::array<char, 4> magic{};
+  f.read(magic.data(), magic.size());
+  if (!f || magic != kEdgeListMagic) {
+    throw std::runtime_error("'" + path + "' is not a GEEB edge-list file");
+  }
+  std::uint32_t version = 0;
+  read_pod(f, version, path);
+  if (version != kBinaryVersion) {
+    throw std::runtime_error("'" + path + "': unsupported GEEB version " +
+                             std::to_string(version));
+  }
+  VertexId n = 0;
+  EdgeId m = 0;
+  std::uint8_t weighted = 0;
+  read_pod(f, n, path);
+  read_pod(f, m, path);
+  read_pod(f, weighted, path);
+
+  std::vector<VertexId> src, dst;
+  std::vector<Weight> w;
+  read_array(f, src, m, path);
+  read_array(f, dst, m, path);
+  if (weighted != 0) read_array(f, w, m, path);
+  for (EdgeId e = 0; e < m; ++e) {
+    if (src[e] >= n || dst[e] >= n) {
+      throw std::runtime_error("'" + path + "': edge endpoint out of range");
+    }
+  }
+  return EdgeList::adopt(n, std::move(src), std::move(dst), std::move(w));
+}
+
+void write_ligra_adjacency(const Csr& csr, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open '" + path + "' for writing");
+  f << (csr.weighted() ? "WeightedAdjacencyGraph" : "AdjacencyGraph") << '\n';
+  f << csr.num_vertices() << '\n' << csr.num_edges() << '\n';
+  const auto offsets = csr.offsets();
+  for (VertexId u = 0; u < csr.num_vertices(); ++u) f << offsets[u] << '\n';
+  for (VertexId t : csr.targets()) f << t << '\n';
+  if (csr.weighted()) {
+    for (Weight w : csr.weights()) f << w << '\n';
+  }
+  if (!f) throw std::runtime_error("write to '" + path + "' failed");
+}
+
+Csr read_ligra_adjacency(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open '" + path + "' for reading");
+  std::string header;
+  if (!(f >> header) ||
+      (header != "AdjacencyGraph" && header != "WeightedAdjacencyGraph")) {
+    throw std::runtime_error("'" + path + "': not a Ligra AdjacencyGraph file");
+  }
+  const bool weighted = header == "WeightedAdjacencyGraph";
+  std::uint64_t n = 0, m = 0;
+  if (!(f >> n >> m)) {
+    throw std::runtime_error("'" + path + "': bad AdjacencyGraph header");
+  }
+  std::vector<EdgeId> offsets(n + 1);
+  for (std::uint64_t u = 0; u < n; ++u) {
+    if (!(f >> offsets[u])) {
+      throw std::runtime_error("'" + path + "': truncated offsets");
+    }
+    if (u > 0 && offsets[u] < offsets[u - 1]) {
+      throw std::runtime_error("'" + path + "': offsets not monotone");
+    }
+  }
+  offsets[n] = m;
+  if (n > 0 && offsets[n - 1] > m) {
+    throw std::runtime_error("'" + path + "': offset exceeds edge count");
+  }
+  std::vector<VertexId> targets(m);
+  for (std::uint64_t e = 0; e < m; ++e) {
+    if (!(f >> targets[e])) {
+      throw std::runtime_error("'" + path + "': truncated edge array");
+    }
+    if (targets[e] >= n) {
+      throw std::runtime_error("'" + path + "': target out of range");
+    }
+  }
+  std::vector<Weight> weights;
+  if (weighted) {
+    weights.resize(m);
+    for (std::uint64_t e = 0; e < m; ++e) {
+      if (!(f >> weights[e])) {
+        throw std::runtime_error("'" + path + "': truncated weight array");
+      }
+    }
+  }
+  return Csr(std::move(offsets), std::move(targets), std::move(weights));
+}
+
+}  // namespace gee::graph

@@ -1,0 +1,52 @@
+// Graph input/output.
+//
+// Three formats:
+//  * SNAP-style text edge lists ("u v [w]" per line, '#'/'%' comments) --
+//    the format of the repository the paper's graphs come from [16].
+//  * GEEB binary edge lists -- fast reload of generated workloads.
+//  * Ligra's AdjacencyGraph / WeightedAdjacencyGraph text format [14] --
+//    interchange with the original Ligra implementation the paper used.
+// All readers validate structure and throw std::runtime_error with a
+// line/offset diagnostic on malformed input.
+#pragma once
+
+#include <string>
+
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+
+namespace gee::graph {
+
+// ------------------------------------------------------------ text edge list
+
+struct TextReadOptions {
+  /// Lines starting with any of these (after leading spaces) are skipped.
+  std::string comment_prefixes = "#%";
+  /// Accept "u v w" rows and keep weights; plain "u v" rows get weight 1.
+  bool allow_weights = true;
+};
+
+/// Parse a whitespace-separated edge-list file.
+EdgeList read_edge_list_text(const std::string& path,
+                             const TextReadOptions& options = {});
+
+/// Write "u v" (or "u v w" if weighted) lines with a size comment header.
+void write_edge_list_text(const EdgeList& edges, const std::string& path);
+
+// ------------------------------------------------------------ binary format
+
+/// GEEB v1 layout (little endian): magic "GEEB", u32 version, u32 n,
+/// u64 m, u8 weighted, then src[m] u32, dst[m] u32, weights[m] f32 if
+/// weighted. Round-trips EdgeList exactly.
+void write_edge_list_binary(const EdgeList& edges, const std::string& path);
+EdgeList read_edge_list_binary(const std::string& path);
+
+// ---------------------------------------------------- Ligra AdjacencyGraph
+
+/// Ligra text format: "AdjacencyGraph\nn\nm\n<n offsets>\n<m targets>"
+/// (WeightedAdjacencyGraph additionally lists m weights). Offsets are row
+/// starts (no trailing n+1 entry, per the original format).
+void write_ligra_adjacency(const Csr& csr, const std::string& path);
+Csr read_ligra_adjacency(const std::string& path);
+
+}  // namespace gee::graph

@@ -1,0 +1,156 @@
+#include "graph/transform.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "parallel/parallel_for.hpp"
+#include "util/rng.hpp"
+
+namespace gee::graph {
+
+EdgeList symmetrize(const EdgeList& edges) {
+  const EdgeId m = edges.num_edges();
+  const bool weighted = edges.weighted();
+  std::vector<VertexId> src(2 * m), dst(2 * m);
+  std::vector<Weight> w(weighted ? 2 * m : 0);
+  gee::par::parallel_for(EdgeId{0}, m, [&](EdgeId e) {
+    const VertexId u = edges.src(e), v = edges.dst(e);
+    src[2 * e] = u;
+    dst[2 * e] = v;
+    src[2 * e + 1] = v;
+    dst[2 * e + 1] = u;
+    if (weighted) w[2 * e] = w[2 * e + 1] = edges.weight(e);
+  });
+  return EdgeList::adopt(edges.num_vertices(), std::move(src), std::move(dst),
+                         std::move(w));
+}
+
+EdgeList remove_self_loops(const EdgeList& edges) {
+  const EdgeId m = edges.num_edges();
+  const bool weighted = edges.weighted();
+  std::vector<VertexId> src, dst;
+  std::vector<Weight> w;
+  src.reserve(m);
+  dst.reserve(m);
+  if (weighted) w.reserve(m);
+  for (EdgeId e = 0; e < m; ++e) {
+    if (edges.src(e) == edges.dst(e)) continue;
+    src.push_back(edges.src(e));
+    dst.push_back(edges.dst(e));
+    if (weighted) w.push_back(edges.weight(e));
+  }
+  return EdgeList::adopt(edges.num_vertices(), std::move(src), std::move(dst),
+                         std::move(w));
+}
+
+EdgeList add_self_loops(const EdgeList& edges, Weight loop_weight) {
+  const EdgeId m = edges.num_edges();
+  const VertexId n = edges.num_vertices();
+  // Self-loops carry an explicit weight, so the output is always weighted.
+  std::vector<VertexId> src(m + n), dst(m + n);
+  std::vector<Weight> w(m + n);
+  gee::par::parallel_for(EdgeId{0}, m, [&](EdgeId e) {
+    src[e] = edges.src(e);
+    dst[e] = edges.dst(e);
+    w[e] = edges.weight(e);
+  });
+  gee::par::parallel_for(VertexId{0}, n, [&](VertexId v) {
+    src[m + v] = v;
+    dst[m + v] = v;
+    w[m + v] = loop_weight;
+  });
+  return EdgeList::adopt(n, std::move(src), std::move(dst), std::move(w));
+}
+
+EdgeList dedup_edges(const EdgeList& edges) {
+  const EdgeId m = edges.num_edges();
+  if (m == 0) return EdgeList(edges.num_vertices());
+  // Sort indices by (src, dst), then merge runs.
+  std::vector<EdgeId> order(m);
+  std::iota(order.begin(), order.end(), EdgeId{0});
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    if (edges.src(a) != edges.src(b)) return edges.src(a) < edges.src(b);
+    return edges.dst(a) < edges.dst(b);
+  });
+
+  std::vector<VertexId> src, dst;
+  std::vector<Weight> w;
+  src.reserve(m);
+  dst.reserve(m);
+  const bool weighted = edges.weighted();
+  if (weighted) w.reserve(m);
+  for (EdgeId i = 0; i < m;) {
+    const VertexId u = edges.src(order[i]), v = edges.dst(order[i]);
+    Weight sum = 0;
+    EdgeId j = i;
+    for (; j < m && edges.src(order[j]) == u && edges.dst(order[j]) == v; ++j) {
+      sum += edges.weight(order[j]);
+    }
+    src.push_back(u);
+    dst.push_back(v);
+    if (weighted) {
+      w.push_back(sum);
+    } else if (j - i > 1 && w.empty()) {
+      // Unweighted list with duplicates: result must carry multiplicities,
+      // so materialize weights for everything emitted so far.
+      w.assign(src.size() - 1, Weight{1});
+      w.push_back(static_cast<Weight>(j - i));
+    } else if (!w.empty()) {
+      w.push_back(static_cast<Weight>(j - i));
+    }
+    i = j;
+  }
+  return EdgeList::adopt(edges.num_vertices(), std::move(src), std::move(dst),
+                         std::move(w));
+}
+
+EdgeList relabel_vertices(const EdgeList& edges,
+                          const std::vector<VertexId>& perm) {
+  if (perm.size() < edges.num_vertices()) {
+    throw std::invalid_argument("relabel_vertices: permutation too short");
+  }
+  const EdgeId m = edges.num_edges();
+  std::vector<VertexId> src(m), dst(m);
+  std::vector<Weight> w(edges.weighted() ? m : 0);
+  gee::par::parallel_for(EdgeId{0}, m, [&](EdgeId e) {
+    src[e] = perm[edges.src(e)];
+    dst[e] = perm[edges.dst(e)];
+    if (!w.empty()) w[e] = edges.weight(e);
+  });
+  return EdgeList::adopt(edges.num_vertices(), std::move(src), std::move(dst),
+                         std::move(w));
+}
+
+std::vector<VertexId> random_permutation(VertexId n, std::uint64_t seed) {
+  std::vector<VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), VertexId{0});
+  gee::util::Xoshiro256 rng(seed);
+  for (VertexId i = n; i > 1; --i) {
+    const auto j = static_cast<VertexId>(rng.next_below(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+EdgeList shuffle_edges(const EdgeList& edges, std::uint64_t seed) {
+  const EdgeId m = edges.num_edges();
+  std::vector<EdgeId> order(m);
+  std::iota(order.begin(), order.end(), EdgeId{0});
+  gee::util::Xoshiro256 rng(seed);
+  for (EdgeId i = m; i > 1; --i) {
+    const auto j = rng.next_below(i);
+    std::swap(order[i - 1], order[j]);
+  }
+  std::vector<VertexId> src(m), dst(m);
+  std::vector<Weight> w(edges.weighted() ? m : 0);
+  gee::par::parallel_for(EdgeId{0}, m, [&](EdgeId e) {
+    src[e] = edges.src(order[e]);
+    dst[e] = edges.dst(order[e]);
+    if (!w.empty()) w[e] = edges.weight(order[e]);
+  });
+  return EdgeList::adopt(edges.num_vertices(), std::move(src), std::move(dst),
+                         std::move(w));
+}
+
+}  // namespace gee::graph

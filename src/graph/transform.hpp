@@ -1,0 +1,51 @@
+// Edge-list and vertex-space transforms.
+//
+// These are the preprocessing steps the paper's pipeline needs before the
+// embedding pass: symmetrization (undirected graphs are "two symmetric
+// directed graphs", section II), self-loop handling (the GEE reference
+// code's diagonal augmentation adds them; most raw datasets need them
+// removed), duplicate-edge merging, and vertex relabeling/permutation
+// (generators permute ids to break degree-locality artifacts).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace gee::graph {
+
+/// Both arcs for every input edge: (u,v) and (v,u). Self-loops are also
+/// emitted twice: an undirected loop contributes 2 to its vertex's degree
+/// (the standard convention), and GEE's Algorithm 1 fires both update lines
+/// for a loop, so symmetric storage must carry two copies for per-arc
+/// processing to reproduce the reference embedding exactly.
+[[nodiscard]] EdgeList symmetrize(const EdgeList& edges);
+
+/// Remove edges with src == dst, preserving order of the rest.
+[[nodiscard]] EdgeList remove_self_loops(const EdgeList& edges);
+
+/// Append one self-loop (v, v, w) per vertex -- the GEE reference code's
+/// diagonal augmentation (DiagA) preprocessing.
+[[nodiscard]] EdgeList add_self_loops(const EdgeList& edges, Weight w = 1.0f);
+
+/// Merge duplicate (src, dst) pairs. Weights of merged duplicates are
+/// summed (the natural semantics for multigraph -> weighted-graph collapse).
+/// Output is sorted by (src, dst).
+[[nodiscard]] EdgeList dedup_edges(const EdgeList& edges);
+
+/// Apply vertex permutation: vertex v becomes perm[v] on both endpoints.
+/// perm must be a bijection on [0, num_vertices).
+[[nodiscard]] EdgeList relabel_vertices(const EdgeList& edges,
+                                        const std::vector<VertexId>& perm);
+
+/// Uniformly random vertex permutation (Fisher-Yates, seeded).
+[[nodiscard]] std::vector<VertexId> random_permutation(VertexId n,
+                                                       std::uint64_t seed);
+
+/// Randomly permute the *order* of edges in the list (endpoints unchanged).
+/// Bench harnesses use this so edge-list backends see cache-hostile order.
+[[nodiscard]] EdgeList shuffle_edges(const EdgeList& edges,
+                                     std::uint64_t seed);
+
+}  // namespace gee::graph

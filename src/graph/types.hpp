@@ -1,0 +1,35 @@
+// Fundamental graph value types shared by every module.
+//
+// VertexId is 32-bit: the paper's largest graph (Friendster, 65M vertices)
+// fits comfortably, and halving the index width matters for a memory-bound
+// workload (section IV of the paper attributes the scaling ceiling to
+// memory bandwidth). EdgeId is 64-bit because edge counts exceed 2^32
+// (Friendster has 1.8B directed arcs after symmetrization x2).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gee::graph {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint64_t;
+
+/// Edge weights are single precision in storage (unit weights for all the
+/// paper's graphs); embedding accumulation happens in double (gee::Real).
+using Weight = float;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/// A single directed edge (source, destination, weight); Algorithm 1's
+/// input rows E(i, 1..3).
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  Weight weight = 1.0f;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+}  // namespace gee::graph

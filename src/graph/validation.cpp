@@ -1,0 +1,111 @@
+#include "graph/validation.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
+#include "util/table.hpp"
+
+namespace gee::graph {
+
+std::vector<std::string> validate(const Csr& csr) {
+  std::vector<std::string> issues;
+  const auto offsets = csr.offsets();
+  const auto targets = csr.targets();
+
+  if (offsets.empty()) {
+    if (!targets.empty()) issues.emplace_back("targets without offsets");
+    return issues;
+  }
+  if (offsets.front() != 0) issues.emplace_back("offsets[0] != 0");
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      issues.emplace_back("offsets not monotone at vertex " +
+                          std::to_string(i - 1));
+      break;
+    }
+  }
+  if (offsets.back() != targets.size()) {
+    issues.emplace_back("offsets.back() != number of targets");
+  }
+  const VertexId n = csr.num_vertices();
+  const bool targets_ok = gee::par::reduce<bool>(
+      targets.size(), true, [&](std::size_t e) { return targets[e] < n; },
+      [](bool a, bool b) { return a && b; });
+  if (!targets_ok) issues.emplace_back("target vertex out of range");
+  if (csr.weighted() && csr.weights().size() != targets.size()) {
+    issues.emplace_back("weight array length mismatch");
+  }
+  return issues;
+}
+
+bool has_sorted_rows(const Csr& csr) {
+  const VertexId n = csr.num_vertices();
+  return gee::par::reduce<bool>(
+      n, true,
+      [&](std::size_t u) {
+        const auto row = csr.neighbors(static_cast<VertexId>(u));
+        return std::is_sorted(row.begin(), row.end());
+      },
+      [](bool a, bool b) { return a && b; });
+}
+
+bool has_edge(const Csr& csr, VertexId u, VertexId v) {
+  const auto row = csr.neighbors(u);
+  return std::binary_search(row.begin(), row.end(), v);
+}
+
+bool is_symmetric(const Csr& csr) {
+  if (!has_sorted_rows(csr)) return false;
+  const VertexId n = csr.num_vertices();
+  return gee::par::reduce<bool>(
+      n, true,
+      [&](std::size_t ui) {
+        const auto u = static_cast<VertexId>(ui);
+        const auto row = csr.neighbors(u);
+        const auto w = csr.edge_weights(u);
+        for (std::size_t i = 0; i < row.size(); ++i) {
+          const VertexId v = row[i];
+          const auto vrow = csr.neighbors(v);
+          const auto it = std::lower_bound(vrow.begin(), vrow.end(), u);
+          if (it == vrow.end() || *it != u) return false;
+          if (csr.weighted()) {
+            const auto j = static_cast<std::size_t>(it - vrow.begin());
+            if (csr.edge_weights(v)[j] != w[i]) return false;
+          }
+        }
+        return true;
+      },
+      [](bool a, bool b) { return a && b; });
+}
+
+DegreeStats degree_stats(const Csr& csr) {
+  DegreeStats s;
+  const VertexId n = csr.num_vertices();
+  if (n == 0) return s;
+  std::vector<EdgeId> degrees(n);
+  gee::par::parallel_for(VertexId{0}, n,
+                         [&](VertexId u) { degrees[u] = csr.degree(u); });
+  std::sort(degrees.begin(), degrees.end());
+  s.min = degrees.front();
+  s.max = degrees.back();
+  s.mean = static_cast<double>(csr.num_edges()) / static_cast<double>(n);
+  s.median = static_cast<double>(degrees[n / 2]);
+  s.p99 = static_cast<double>(degrees[static_cast<std::size_t>(
+      static_cast<double>(n - 1) * 0.99)]);
+  s.isolated = static_cast<VertexId>(
+      std::lower_bound(degrees.begin(), degrees.end(), EdgeId{1}) -
+      degrees.begin());
+  return s;
+}
+
+std::string describe(const Csr& csr) {
+  const auto s = degree_stats(csr);
+  return "n=" + gee::util::format_count(csr.num_vertices()) +
+         " m=" + gee::util::format_count(csr.num_edges()) +
+         " avg_deg=" + gee::util::format_double(s.mean, 3) +
+         " max_deg=" + std::to_string(s.max);
+}
+
+}  // namespace gee::graph

@@ -1,0 +1,43 @@
+// Structural validation and summary statistics for graphs.
+//
+// validate() is used by tests and by loaders of untrusted input;
+// degree_stats() feeds the bench harness's workload descriptions (Table I
+// reports (|n|, |s|) per graph; we additionally report degree skew because
+// it drives the cache behaviour discussed in section III).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gee::graph {
+
+/// Structural problems found in a CSR; empty means the graph is well formed.
+std::vector<std::string> validate(const Csr& csr);
+
+/// True iff for every arc (u,v) the reverse arc (v,u) exists with equal
+/// weight. Requires sorted neighbor rows (BuildOptions::sort_neighbors).
+bool is_symmetric(const Csr& csr);
+
+/// True iff neighbor rows are sorted ascending by target id.
+bool has_sorted_rows(const Csr& csr);
+
+/// Binary-search membership test; requires sorted rows.
+bool has_edge(const Csr& csr, VertexId u, VertexId v);
+
+struct DegreeStats {
+  EdgeId min = 0;
+  EdgeId max = 0;
+  double mean = 0;
+  double median = 0;
+  double p99 = 0;
+  VertexId isolated = 0;  ///< vertices with degree 0
+};
+
+DegreeStats degree_stats(const Csr& csr);
+
+/// One-line description like "n=168.0K m=6.80M avg_deg=40.5" for logs.
+std::string describe(const Csr& csr);
+
+}  // namespace gee::graph

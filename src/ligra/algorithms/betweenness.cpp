@@ -1,0 +1,136 @@
+#include "ligra/algorithms/betweenness.hpp"
+
+#include <vector>
+
+#include "ligra/edge_map.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace gee::ligra {
+
+namespace {
+
+/// Forward phase: count shortest paths level by level. A vertex joins the
+/// next frontier the first time any current-frontier in-neighbor reaches
+/// it; sigma accumulates over ALL same-level predecessors.
+struct CountPaths {
+  double* sigma;
+  const VertexId* level;
+  VertexId current_level;
+
+  bool update(VertexId u, VertexId v, Weight /*w*/) {
+    sigma[v] += sigma[u];
+    return level[v] == graph::kInvalidVertex;
+  }
+  bool update_atomic(VertexId u, VertexId v, Weight /*w*/) {
+    gee::par::write_add(sigma[v], sigma[u]);
+    return level[v] == graph::kInvalidVertex;
+  }
+  [[nodiscard]] bool cond(VertexId v) const {
+    return level[v] == graph::kInvalidVertex;
+  }
+};
+
+/// Backward phase: dependency accumulation over the BFS DAG. For every DAG
+/// edge (u -> v) with level[v] == level[u]+1:
+///   delta[u] += sigma[u]/sigma[v] * (1 + delta[v]).
+/// Processed one level at a time from the deepest frontier upward; the
+/// "frontier" is the deeper level, and updates flow to its predecessors
+/// (we traverse in-edges of the frontier == transpose push).
+struct AccumulateDeps {
+  double* delta;
+  const double* sigma;
+  const VertexId* level;
+  VertexId frontier_level;
+
+  bool update(VertexId u, VertexId v, Weight /*w*/) {
+    // u is in the frontier (level L), v a potential predecessor (L-1).
+    if (level[v] + 1 == frontier_level) {
+      delta[v] += sigma[v] / sigma[u] * (1.0 + delta[u]);
+    }
+    return false;
+  }
+  bool update_atomic(VertexId u, VertexId v, Weight /*w*/) {
+    if (level[v] + 1 == frontier_level) {
+      gee::par::write_add(delta[v], sigma[v] / sigma[u] * (1.0 + delta[u]));
+    }
+    return false;
+  }
+  [[nodiscard]] static bool cond(VertexId /*v*/) { return true; }
+};
+
+}  // namespace
+
+BetweennessResult betweenness_from(const graph::Graph& g, VertexId source) {
+  const VertexId n = g.num_vertices();
+  BetweennessResult r;
+  r.dependency.assign(n, 0.0);
+  r.num_paths.assign(n, 0.0);
+  r.level.assign(n, graph::kInvalidVertex);
+  if (source >= n) return r;
+
+  r.num_paths[source] = 1.0;
+  r.level[source] = 0;
+
+  // Forward sweep; remember each level's frontier for the backward pass.
+  std::vector<VertexSubset> levels;
+  levels.push_back(VertexSubset::single(n, source));
+  VertexId depth = 0;
+  while (!levels.back().is_empty()) {
+    ++depth;
+    VertexSubset& frontier = levels.back();
+    VertexSubset next =
+        edge_map(g, frontier,
+                 CountPaths{r.num_paths.data(), r.level.data(), depth});
+    next.for_each([&](VertexId v) { r.level[v] = depth; });
+    ++r.rounds;
+    levels.push_back(std::move(next));
+  }
+  levels.pop_back();  // trailing empty frontier
+
+  // Backward sweep: deepest level first. Dependencies flow from each
+  // frontier to the previous level through the graph's in-edges, i.e. a
+  // dense-forward edgeMap on the transpose. For undirected graphs in ==
+  // out; for directed graphs wrap the in-CSR as an out-graph once (one
+  // copy for the whole sweep -- betweenness is O(m) per phase anyway).
+  graph::Graph reversed_storage;
+  const graph::Graph* backward = &g;
+  if (g.directed()) {
+    if (!g.has_in()) {
+      throw std::invalid_argument(
+          "betweenness_from on a directed graph requires the in-CSR");
+    }
+    reversed_storage = graph::Graph::from_directed_csr(
+        graph::Csr(std::vector<graph::EdgeId>(g.in().offsets().begin(),
+                                              g.in().offsets().end()),
+                   std::vector<VertexId>(g.in().targets().begin(),
+                                         g.in().targets().end()),
+                   std::vector<graph::Weight>(g.in().weights().begin(),
+                                              g.in().weights().end())),
+        graph::Csr{});
+    backward = &reversed_storage;
+  }
+  for (std::size_t i = levels.size(); i-- > 1;) {
+    VertexSubset& frontier = levels[i];
+    AccumulateDeps functor{r.dependency.data(), r.num_paths.data(),
+                           r.level.data(), static_cast<VertexId>(i)};
+    edge_map(*backward, frontier, functor,
+             {.mode = EdgeMapMode::kDenseForward, .produce_output = false});
+    ++r.rounds;
+  }
+  return r;
+}
+
+std::vector<double> betweenness_centrality(const graph::Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<double> centrality(n, 0.0);
+  for (VertexId s = 0; s < n; ++s) {
+    const auto r = betweenness_from(g, s);
+    for (VertexId v = 0; v < n; ++v) {
+      if (v != s) centrality[v] += r.dependency[v];
+    }
+  }
+  return centrality;
+}
+
+}  // namespace gee::ligra

@@ -1,0 +1,39 @@
+// Betweenness centrality (Brandes' algorithm) on the edgeMap engine.
+//
+// The third algorithm the paper names when arguing the engine's generality
+// ("PageRank, Connected Components, and Betweenness Centrality", section
+// II). This is the single-source dependency accumulation: a forward BFS
+// phase counting shortest paths, then a backward sweep over the BFS DAG
+// accumulating dependencies -- both phases are edgeMaps, which exercises
+// the engine's frontier machinery harder than BFS (two traversal
+// directions, level-synchronous state).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "ligra/vertex_subset.hpp"
+
+namespace gee::ligra {
+
+struct BetweennessResult {
+  /// dependency[v]: sum over targets t of the fraction of shortest s-t
+  /// paths through v (single source s; Brandes' delta).
+  std::vector<double> dependency;
+  /// sigma[v]: number of shortest paths from the source to v.
+  std::vector<double> num_paths;
+  /// BFS level of each vertex (kInvalidVertex if unreached).
+  std::vector<VertexId> level;
+  int rounds = 0;
+};
+
+/// Single-source betweenness contribution from `source` over unit-weight
+/// edges. Full betweenness is the sum over all sources (tests sum a few).
+BetweennessResult betweenness_from(const graph::Graph& g, VertexId source);
+
+/// Exact betweenness centrality: sum of betweenness_from over all sources.
+/// O(n * m); intended for small/medium graphs and tests. Scores follow the
+/// directed convention (undirected graphs: halve externally if desired).
+std::vector<double> betweenness_centrality(const graph::Graph& g);
+
+}  // namespace gee::ligra

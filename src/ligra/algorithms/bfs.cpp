@@ -1,0 +1,49 @@
+#include "ligra/algorithms/bfs.hpp"
+
+#include "ligra/edge_map.hpp"
+#include "parallel/atomics.hpp"
+
+namespace gee::ligra {
+
+namespace {
+
+struct BfsFunctor {
+  VertexId* parent;
+
+  bool update(VertexId u, VertexId v, Weight /*w*/) {
+    // Dense pull: v unvisited (cond checked), claim without atomics.
+    parent[v] = u;
+    return true;
+  }
+  bool update_atomic(VertexId u, VertexId v, Weight /*w*/) {
+    return gee::par::cas(parent[v], graph::kInvalidVertex, u);
+  }
+  [[nodiscard]] bool cond(VertexId v) const {
+    return parent[v] == graph::kInvalidVertex;
+  }
+};
+
+}  // namespace
+
+BfsResult bfs(const graph::Graph& g, VertexId root) {
+  const VertexId n = g.num_vertices();
+  BfsResult r;
+  r.parent.assign(n, graph::kInvalidVertex);
+  r.dist.assign(n, graph::kInvalidVertex);
+  if (root >= n) return r;
+  r.parent[root] = root;
+  r.dist[root] = 0;
+
+  VertexSubset frontier = VertexSubset::single(n, root);
+  VertexId level = 0;
+  while (!frontier.is_empty()) {
+    ++level;
+    VertexSubset next = edge_map(g, frontier, BfsFunctor{r.parent.data()});
+    next.for_each([&](VertexId v) { r.dist[v] = level; });
+    frontier = std::move(next);
+    ++r.rounds;
+  }
+  return r;
+}
+
+}  // namespace gee::ligra

@@ -1,0 +1,28 @@
+// Breadth-first search on the edgeMap engine.
+//
+// The canonical Ligra example: validates frontier expansion, sparse/dense
+// switching, and CAS-based parent claiming. Tests compare distances against
+// a serial queue oracle.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "ligra/vertex_subset.hpp"
+
+namespace gee::ligra {
+
+struct BfsResult {
+  /// parent[v]: BFS tree parent; root's parent is itself; unreached ==
+  /// graph::kInvalidVertex.
+  std::vector<VertexId> parent;
+  /// dist[v]: hop count from the root; unreached == kInvalidVertex.
+  std::vector<VertexId> dist;
+  /// Number of frontier expansion rounds executed.
+  int rounds = 0;
+};
+
+/// BFS from `root` over out-edges of g.
+BfsResult bfs(const graph::Graph& g, VertexId root);
+
+}  // namespace gee::ligra

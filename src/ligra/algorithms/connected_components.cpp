@@ -1,0 +1,43 @@
+#include "ligra/algorithms/connected_components.hpp"
+
+#include "ligra/edge_map.hpp"
+#include "parallel/atomics.hpp"
+
+namespace gee::ligra {
+
+namespace {
+
+struct CcFunctor {
+  VertexId* component;
+
+  bool update(VertexId u, VertexId v, Weight /*w*/) {
+    if (component[u] < component[v]) {
+      component[v] = component[u];
+      return true;
+    }
+    return false;
+  }
+  bool update_atomic(VertexId u, VertexId v, Weight /*w*/) {
+    return gee::par::write_min(component[v], component[u]);
+  }
+  [[nodiscard]] static bool cond(VertexId /*v*/) { return true; }
+};
+
+}  // namespace
+
+ComponentsResult connected_components(const graph::Graph& g) {
+  const VertexId n = g.num_vertices();
+  ComponentsResult r;
+  r.component.resize(n);
+  gee::par::parallel_for(VertexId{0}, n,
+                         [&](VertexId v) { r.component[v] = v; });
+
+  VertexSubset frontier = VertexSubset::all(n);
+  while (!frontier.is_empty()) {
+    frontier = edge_map(g, frontier, CcFunctor{r.component.data()});
+    ++r.rounds;
+  }
+  return r;
+}
+
+}  // namespace gee::ligra

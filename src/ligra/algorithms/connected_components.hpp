@@ -1,0 +1,25 @@
+// Connected components by label propagation on the edgeMap engine.
+//
+// Every vertex starts with its own id; rounds of edgeMap propagate the
+// minimum id through edges until no label changes. For undirected graphs
+// the result equals the partition a union-find oracle produces (tested).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "ligra/vertex_subset.hpp"
+
+namespace gee::ligra {
+
+struct ComponentsResult {
+  /// component[v]: minimum vertex id reachable from v (the component label).
+  std::vector<VertexId> component;
+  int rounds = 0;
+};
+
+/// Label-propagation connected components; expects a symmetric graph
+/// (use GraphKind::kUndirected / kSymmetrized).
+ComponentsResult connected_components(const graph::Graph& g);
+
+}  // namespace gee::ligra

@@ -1,0 +1,76 @@
+#include "ligra/algorithms/pagerank.hpp"
+
+#include <cmath>
+
+#include "ligra/edge_map.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/reduce.hpp"
+
+namespace gee::ligra {
+
+namespace {
+
+struct PrFunctor {
+  const double* contrib;  // rank[u] / out_degree(u), precomputed
+  double* next;
+
+  bool update(VertexId u, VertexId v, Weight /*w*/) {
+    next[v] += contrib[u];
+    return false;  // output frontier unused
+  }
+  bool update_atomic(VertexId u, VertexId v, Weight /*w*/) {
+    gee::par::write_add(next[v], contrib[u]);
+    return false;
+  }
+  [[nodiscard]] static bool cond(VertexId /*v*/) { return true; }
+};
+
+}  // namespace
+
+PageRankResult pagerank(const graph::Graph& g, PageRankOptions options) {
+  const VertexId n = g.num_vertices();
+  PageRankResult r;
+  if (n == 0) return r;
+
+  const double init = 1.0 / static_cast<double>(n);
+  std::vector<double> rank(n, init), next(n, 0.0), contrib(n, 0.0);
+
+  // Dangling vertices (out-degree 0) redistribute uniformly; track their
+  // total mass each round to keep the distribution stochastic.
+  VertexSubset frontier = VertexSubset::all(n);
+  const EdgeMapOptions em_options{.mode = EdgeMapMode::kAuto,
+                                  .produce_output = false};
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    gee::par::parallel_for(VertexId{0}, n, [&](VertexId u) {
+      const auto deg = g.out().degree(u);
+      contrib[u] = deg > 0 ? rank[u] / static_cast<double>(deg) : 0.0;
+    });
+    const double dangling = gee::par::reduce_sum<double>(n, [&](std::size_t u) {
+      return g.out().degree(static_cast<VertexId>(u)) == 0
+                 ? rank[u]
+                 : 0.0;
+    });
+
+    gee::par::fill_zero(next.data(), next.size());
+    edge_map(g, frontier, PrFunctor{contrib.data(), next.data()}, em_options);
+
+    const double base =
+        (1.0 - options.damping) / static_cast<double>(n) +
+        options.damping * dangling / static_cast<double>(n);
+    gee::par::parallel_for(VertexId{0}, n, [&](VertexId v) {
+      next[v] = base + options.damping * next[v];
+    });
+
+    const double delta = gee::par::reduce_sum<double>(
+        n, [&](std::size_t v) { return std::abs(next[v] - rank[v]); });
+    rank.swap(next);
+    r.iterations = it + 1;
+    r.final_delta = delta;
+    if (delta < options.tolerance) break;
+  }
+  r.rank = std::move(rank);
+  return r;
+}
+
+}  // namespace gee::ligra

@@ -1,0 +1,30 @@
+// PageRank on the edgeMap engine.
+//
+// Classic damped iteration; the edge pass is a full-frontier edgeMap exactly
+// like GEE's, which makes PageRank the closest engine-validation workload to
+// the paper's kernel (one multiply-add per edge, full frontier, race on the
+// accumulation target).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gee::ligra {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  int max_iterations = 100;
+  /// Stop when the L1 change between iterations drops below this.
+  double tolerance = 1e-9;
+};
+
+struct PageRankResult {
+  std::vector<double> rank;  ///< sums to 1 over all vertices
+  int iterations = 0;
+  double final_delta = 0;    ///< L1 change of the last iteration
+};
+
+PageRankResult pagerank(const graph::Graph& g, PageRankOptions options = {});
+
+}  // namespace gee::ligra

@@ -1,0 +1,105 @@
+// Lock-free atomic building blocks (Ligra's writeAdd / writeMin / CAS).
+//
+// These wrap std::atomic_ref (C++20) over plain arrays, which is exactly the
+// shape Ligra's utils use: data lives in ordinary buffers so the serial code
+// paths touch it without atomic overhead, and the parallel paths upgrade
+// individual accesses to atomics.
+//
+// Memory ordering: GEE's embedding accumulation is a commutative reduction;
+// no thread reads Z until the parallel region ends (the omp barrier provides
+// the necessary synchronization), so relaxed RMW is correct and is what the
+// paper's "lock-free atomic instructions" compile to. Operations that *do*
+// transfer information between threads inside a region (frontier CAS in
+// edgeMap) use seq_cst, the C++ Core Guidelines default.
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <type_traits>
+
+namespace gee::par {
+
+/// Atomically x += delta (Ligra's writeAdd). Works for integral and
+/// floating-point T. Relaxed ordering: reduction-only usage, see header note.
+template <class T>
+inline void write_add(T& x, T delta) noexcept {
+  std::atomic_ref<T> ref(x);
+  if constexpr (std::integral<T>) {
+    ref.fetch_add(delta, std::memory_order_relaxed);
+  } else {
+    // fetch_add on floating atomics lowers to a CAS loop on x86; spell it
+    // out so the fallback behaviour is identical across standard libraries.
+    T expected = ref.load(std::memory_order_relaxed);
+    while (!ref.compare_exchange_weak(expected, expected + delta,
+                                      std::memory_order_relaxed,
+                                      std::memory_order_relaxed)) {
+    }
+  }
+}
+
+/// Deliberately racy x += delta used by the paper's "atomics off" ablation
+/// (section IV): atomic load and store, non-atomic read-modify-write, so
+/// concurrent increments may be lost but behaviour stays defined.
+template <class T>
+inline void unsafe_add(T& x, T delta) noexcept {
+  std::atomic_ref<T> ref(x);
+  const T old = ref.load(std::memory_order_relaxed);
+  ref.store(old + delta, std::memory_order_relaxed);
+}
+
+/// Atomically x = min(x, v); returns true iff x was lowered by this call.
+/// (Ligra's writeMin; used by BFS-style parent assignment.)
+template <class T>
+inline bool write_min(T& x, T v) noexcept {
+  std::atomic_ref<T> ref(x);
+  T cur = ref.load(std::memory_order_relaxed);
+  while (v < cur) {
+    if (ref.compare_exchange_weak(cur, v, std::memory_order_seq_cst,
+                                  std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Atomically x = max(x, v); returns true iff x was raised.
+template <class T>
+inline bool write_max(T& x, T v) noexcept {
+  std::atomic_ref<T> ref(x);
+  T cur = ref.load(std::memory_order_relaxed);
+  while (cur < v) {
+    if (ref.compare_exchange_weak(cur, v, std::memory_order_seq_cst,
+                                  std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Single-shot compare-and-swap (Ligra's CAS).
+template <class T>
+inline bool cas(T& x, T expected, T desired) noexcept {
+  std::atomic_ref<T> ref(x);
+  return ref.compare_exchange_strong(expected, desired,
+                                     std::memory_order_seq_cst,
+                                     std::memory_order_relaxed);
+}
+
+/// Set a byte flag exactly once; returns true for the winning caller.
+/// Frontier deduplication in sparse edgeMap uses this.
+inline bool test_and_set_flag(unsigned char& flag) noexcept {
+  return cas<unsigned char>(flag, 0, 1);
+}
+
+/// Plain atomic load/store helpers for mixed serial/parallel code.
+template <class T>
+inline T atomic_load(const T& x) noexcept {
+  return std::atomic_ref<const T>(x).load(std::memory_order_seq_cst);
+}
+
+template <class T>
+inline void atomic_store(T& x, T v) noexcept {
+  std::atomic_ref<T>(x).store(v, std::memory_order_seq_cst);
+}
+
+}  // namespace gee::par

@@ -1,0 +1,127 @@
+// OpenMP-backed parallel-for and runtime controls.
+//
+// This is the project's replacement for the Cilk runtime the original Ligra
+// uses: a grain-sized parallel loop plus thread-count control. Everything
+// else in the repo (edgeMap, generators, GEE backends) builds on these
+// wrappers rather than spelling out pragmas, so scheduling policy lives in
+// one place.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include <omp.h>
+
+namespace gee::par {
+
+/// Default minimum work per task; below this, loops run serially. Chosen so
+/// that per-iteration work of ~a few ns still amortizes scheduling overhead.
+inline constexpr std::size_t kDefaultGrain = 2048;
+
+/// Number of threads a parallel region will use right now.
+inline int num_threads() noexcept { return omp_get_max_threads(); }
+
+/// Hard cap on threads for subsequent parallel regions.
+inline void set_num_threads(int n) noexcept { omp_set_num_threads(n); }
+
+/// Calling thread's id inside a parallel region (0 outside).
+inline int thread_id() noexcept { return omp_get_thread_num(); }
+
+/// True when executing inside an active parallel region.
+inline bool in_parallel() noexcept { return omp_in_parallel() != 0; }
+
+/// RAII: temporarily set the global thread count, restore on destruction.
+/// Benchmarks use this for strong-scaling sweeps (Figure 3).
+class ThreadScope {
+ public:
+  explicit ThreadScope(int n) noexcept : saved_(num_threads()) {
+    if (n > 0) set_num_threads(n);
+  }
+  ~ThreadScope() { set_num_threads(saved_); }
+  ThreadScope(const ThreadScope&) = delete;
+  ThreadScope& operator=(const ThreadScope&) = delete;
+
+ private:
+  int saved_;
+};
+
+/// parallel_for(begin, end, f [, grain]): f(i) for each i in [begin, end).
+///
+/// Static schedule: iterations are divided into contiguous blocks, which is
+/// the right default for the memory-bound kernels in this project (preserves
+/// spatial locality, enables first-touch placement). Use parallel_for_dynamic
+/// for skewed per-iteration work such as power-law vertex degrees.
+template <class Index, class Fn>
+void parallel_for(Index begin, Index end, Fn&& f,
+                  std::size_t grain = kDefaultGrain) {
+  static_assert(std::is_integral_v<Index>);
+  if (begin >= end) return;
+  const auto n = static_cast<std::size_t>(end - begin);
+  if (n <= grain || num_threads() == 1 || in_parallel()) {
+    for (Index i = begin; i < end; ++i) f(i);
+    return;
+  }
+#pragma omp parallel for schedule(static)
+  for (Index i = begin; i < end; ++i) f(i);
+}
+
+/// Dynamic-schedule variant for irregular work (per-vertex edge lists of a
+/// skewed graph). `chunk` iterations are handed out at a time.
+template <class Index, class Fn>
+void parallel_for_dynamic(Index begin, Index end, Fn&& f,
+                          std::size_t chunk = 64) {
+  static_assert(std::is_integral_v<Index>);
+  if (begin >= end) return;
+  const auto n = static_cast<std::size_t>(end - begin);
+  if (n <= chunk || num_threads() == 1 || in_parallel()) {
+    for (Index i = begin; i < end; ++i) f(i);
+    return;
+  }
+#pragma omp parallel for schedule(dynamic, 64)
+  for (Index i = begin; i < end; ++i) f(i);
+}
+
+/// Run f(thread_id, num_threads_in_team) once per thread of a fresh team.
+/// Building block for per-thread scratch (histograms, counting sort).
+template <class Fn>
+void parallel_team(Fn&& f) {
+  if (num_threads() == 1 || in_parallel()) {
+    f(0, 1);
+    return;
+  }
+#pragma omp parallel
+  { f(omp_get_thread_num(), omp_get_num_threads()); }
+}
+
+/// Split [0, n) into nearly equal contiguous blocks; returns [lo, hi) of
+/// block `b` of `nblocks`. All chunked-deterministic generators use this.
+struct BlockRange {
+  std::size_t lo, hi;
+};
+inline BlockRange block_range(std::size_t n, std::size_t nblocks,
+                              std::size_t b) noexcept {
+  const std::size_t base = n / nblocks;
+  const std::size_t rem = n % nblocks;
+  const std::size_t lo = b * base + (b < rem ? b : rem);
+  const std::size_t extra = b < rem ? 1 : 0;
+  return {lo, lo + base + extra};
+}
+
+/// Parallel zero-fill of trivially-copyable storage. First-touch: pages are
+/// touched by the thread that will (statically) own that index range later.
+template <class T>
+void fill_zero(T* data, std::size_t n) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  parallel_for(std::size_t{0}, n, [&](std::size_t i) { data[i] = T{}; },
+               /*grain=*/1 << 16);
+}
+
+/// Parallel fill with a constant value.
+template <class T>
+void fill(T* data, std::size_t n, T value) {
+  parallel_for(std::size_t{0}, n, [&](std::size_t i) { data[i] = value; },
+               /*grain=*/1 << 16);
+}
+
+}  // namespace gee::par

@@ -1,0 +1,63 @@
+// Parallel reductions over index ranges.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+
+namespace gee::par {
+
+/// reduce(n, identity, map, combine): combine(map(0), map(1), ..., map(n-1)).
+/// `combine` must be associative; results for floating-point types are
+/// deterministic for a fixed thread count (blocked combination order).
+template <class T, class Map, class Combine>
+T reduce(std::size_t n, T identity, Map&& map, Combine&& combine) {
+  if (n == 0) return identity;
+  const int nthreads = num_threads();
+  const std::size_t kSerialCutoff = 1 << 14;
+  if (n <= kSerialCutoff || nthreads == 1 || in_parallel()) {
+    T acc = identity;
+    for (std::size_t i = 0; i < n; ++i) acc = combine(acc, map(i));
+    return acc;
+  }
+  std::vector<T> partial(static_cast<std::size_t>(nthreads), identity);
+  parallel_team([&](int tid, int team) {
+    const auto [lo, hi] = block_range(n, static_cast<std::size_t>(team),
+                                      static_cast<std::size_t>(tid));
+    T acc = identity;
+    for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, map(i));
+    partial[static_cast<std::size_t>(tid)] = acc;
+  });
+  T acc = identity;
+  for (const T& p : partial) acc = combine(acc, p);
+  return acc;
+}
+
+/// Sum of map(i) for i in [0, n).
+template <class T, class Map>
+T reduce_sum(std::size_t n, Map&& map) {
+  return reduce<T>(
+      n, T{}, map, [](T a, T b) { return a + b; });
+}
+
+/// Maximum of map(i); returns `identity` for empty input.
+template <class T, class Map>
+T reduce_max(std::size_t n, T identity, Map&& map) {
+  return reduce<T>(n, identity, map, [](T a, T b) { return a < b ? b : a; });
+}
+
+/// Minimum of map(i); returns `identity` for empty input.
+template <class T, class Map>
+T reduce_min(std::size_t n, T identity, Map&& map) {
+  return reduce<T>(n, identity, map, [](T a, T b) { return b < a ? b : a; });
+}
+
+/// Count of i in [0, n) with pred(i) true.
+template <class Pred>
+std::size_t count_if(std::size_t n, Pred&& pred) {
+  return reduce_sum<std::size_t>(
+      n, [&](std::size_t i) { return pred(i) ? std::size_t{1} : std::size_t{0}; });
+}
+
+}  // namespace gee::par

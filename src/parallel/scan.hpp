@@ -1,0 +1,150 @@
+// Parallel prefix sums and pack/filter.
+//
+// Two-pass blocked scan: each thread-block reduces its range, a serial scan
+// over the (few) block sums computes offsets, then each block scans locally.
+// Deterministic for integer types regardless of thread count -- the CSR
+// builder and sparse edgeMap depend on that determinism.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+
+namespace gee::par {
+
+/// Exclusive prefix sum of `in` into `out` (may alias); returns the total.
+/// out[i] = sum of in[0..i). Serial fallback below the grain size.
+template <class T>
+T scan_exclusive(const T* in, T* out, std::size_t n) {
+  if (n == 0) return T{};
+  const int nthreads = num_threads();
+  const std::size_t kSerialCutoff = 1 << 15;
+  if (n <= kSerialCutoff || nthreads == 1 || in_parallel()) {
+    T acc{};
+    for (std::size_t i = 0; i < n; ++i) {
+      const T v = in[i];  // read first: supports in-place operation
+      out[i] = acc;
+      acc += v;
+    }
+    return acc;
+  }
+
+  // Fixed block count (independent of the team size the runtime actually
+  // grants) keeps the decomposition identical across both phases.
+  const auto nblocks = static_cast<std::size_t>(nthreads);
+  std::vector<T> block_sum(nblocks);
+  parallel_team([&](int tid, int team) {
+    for (auto b = static_cast<std::size_t>(tid); b < nblocks;
+         b += static_cast<std::size_t>(team)) {
+      const auto [lo, hi] = block_range(n, nblocks, b);
+      T acc{};
+      for (std::size_t i = lo; i < hi; ++i) acc += in[i];
+      block_sum[b] = acc;
+    }
+  });
+
+  T total{};
+  for (auto& s : block_sum) {
+    const T v = s;
+    s = total;
+    total += v;
+  }
+
+  parallel_team([&](int tid, int team) {
+    for (auto b = static_cast<std::size_t>(tid); b < nblocks;
+         b += static_cast<std::size_t>(team)) {
+      const auto [lo, hi] = block_range(n, nblocks, b);
+      T acc = block_sum[b];
+      for (std::size_t i = lo; i < hi; ++i) {
+        const T v = in[i];
+        out[i] = acc;
+        acc += v;
+      }
+    }
+  });
+  return total;
+}
+
+/// Inclusive prefix sum; out[i] = sum of in[0..i] (may alias `in`).
+/// Returns the total. Same blocked structure as scan_exclusive; in-place
+/// safe because each slot is read before it is written within its block.
+template <class T>
+T scan_inclusive(const T* in, T* out, std::size_t n) {
+  if (n == 0) return T{};
+  const int nthreads = num_threads();
+  const std::size_t kSerialCutoff = 1 << 15;
+  if (n <= kSerialCutoff || nthreads == 1 || in_parallel()) {
+    T acc{};
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += in[i];
+      out[i] = acc;
+    }
+    return acc;
+  }
+
+  const auto nblocks = static_cast<std::size_t>(nthreads);
+  std::vector<T> block_sum(nblocks);
+  parallel_team([&](int tid, int team) {
+    for (auto b = static_cast<std::size_t>(tid); b < nblocks;
+         b += static_cast<std::size_t>(team)) {
+      const auto [lo, hi] = block_range(n, nblocks, b);
+      T acc{};
+      for (std::size_t i = lo; i < hi; ++i) acc += in[i];
+      block_sum[b] = acc;
+    }
+  });
+
+  T total{};
+  for (auto& s : block_sum) {
+    const T v = s;
+    s = total;
+    total += v;
+  }
+
+  parallel_team([&](int tid, int team) {
+    for (auto b = static_cast<std::size_t>(tid); b < nblocks;
+         b += static_cast<std::size_t>(team)) {
+      const auto [lo, hi] = block_range(n, nblocks, b);
+      T acc = block_sum[b];
+      for (std::size_t i = lo; i < hi; ++i) {
+        acc += in[i];
+        out[i] = acc;
+      }
+    }
+  });
+  return total;
+}
+
+/// Pack: copy in[i] to the output for every i with keep(i) true, preserving
+/// order. Returns the packed count; `out` must have room for n elements.
+template <class T, class Keep>
+std::size_t pack(const T* in, T* out, std::size_t n, Keep&& keep) {
+  if (n == 0) return 0;
+  std::vector<std::size_t> flags(n);
+  parallel_for(std::size_t{0}, n,
+               [&](std::size_t i) { flags[i] = keep(i) ? 1 : 0; });
+  const std::size_t count = scan_exclusive(flags.data(), flags.data(), n);
+  parallel_for(std::size_t{0}, n, [&](std::size_t i) {
+    const bool kept = (i + 1 < n ? flags[i + 1] : count) != flags[i];
+    if (kept) out[flags[i]] = in[i];
+  });
+  return count;
+}
+
+/// Pack the *indices* i in [0,n) with keep(i) true into out, in order.
+template <class Index, class Keep>
+std::size_t pack_index(Index* out, std::size_t n, Keep&& keep) {
+  if (n == 0) return 0;
+  std::vector<std::size_t> flags(n);
+  parallel_for(std::size_t{0}, n,
+               [&](std::size_t i) { flags[i] = keep(i) ? 1 : 0; });
+  const std::size_t count = scan_exclusive(flags.data(), flags.data(), n);
+  parallel_for(std::size_t{0}, n, [&](std::size_t i) {
+    const bool kept = (i + 1 < n ? flags[i + 1] : count) != flags[i];
+    if (kept) out[flags[i]] = static_cast<Index>(i);
+  });
+  return count;
+}
+
+}  // namespace gee::par

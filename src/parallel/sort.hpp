@@ -1,0 +1,113 @@
+// Parallel sorting primitives.
+//
+// Two tools, chosen per use-site:
+//  * counting_sort_permutation: stable, deterministic, O(n + buckets*blocks)
+//    memory -- for small key spaces (labels, small vertex counts).
+//  * parallel_sort: general comparison sort (blocked std::sort + pairwise
+//    parallel merges) -- for neighbor-list ordering and sample data.
+// The CSR builder deliberately does NOT use a global counting sort for large
+// vertex counts (the per-block count matrix would be blocks*n words); it
+// uses atomic-cursor scatter plus per-row sorts instead (see graph/builder).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+
+namespace gee::par {
+
+/// Stable parallel counting sort: returns the permutation `perm` with
+/// perm[output_pos] = input_index such that key(perm[0]) <= key(perm[1]) ...,
+/// preserving input order within equal keys.
+/// Requires keys in [0, nbuckets); intended for nbuckets up to ~2^20.
+/// Deterministic: the block decomposition is fixed by `n`, not thread count.
+template <class Key>
+std::vector<std::uint64_t> counting_sort_permutation(std::size_t n,
+                                                     std::size_t nbuckets,
+                                                     Key&& key) {
+  // Fixed block count => deterministic output. 4x threads for balance,
+  // capped so the count matrix stays small.
+  std::size_t blocks = 1;
+  if (n >= (std::size_t{1} << 14) && !in_parallel()) {
+    blocks = std::min<std::size_t>(static_cast<std::size_t>(num_threads()) * 4,
+                                   std::size_t{256});
+  }
+
+  // counts[b][k]: occurrences of key k inside block b.
+  std::vector<std::vector<std::uint64_t>> counts(blocks);
+  parallel_team([&](int tid, int team) {
+    for (std::size_t b = static_cast<std::size_t>(tid); b < blocks;
+         b += static_cast<std::size_t>(team)) {
+      counts[b].assign(nbuckets, 0);
+      const auto [lo, hi] = block_range(n, blocks, b);
+      for (std::size_t i = lo; i < hi; ++i) counts[b][key(i)]++;
+    }
+  });
+
+  // Exclusive scan in (key-major, block-minor) order: gives each (block,
+  // key) pair its first output slot. That ordering is what makes the sort
+  // stable.
+  std::uint64_t offset = 0;
+  for (std::size_t k = 0; k < nbuckets; ++k) {
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::uint64_t c = counts[b][k];
+      counts[b][k] = offset;
+      offset += c;
+    }
+  }
+
+  std::vector<std::uint64_t> perm(n);
+  parallel_team([&](int tid, int team) {
+    for (std::size_t b = static_cast<std::size_t>(tid); b < blocks;
+         b += static_cast<std::size_t>(team)) {
+      auto& cursor = counts[b];  // now holds start offsets; advance in place
+      const auto [lo, hi] = block_range(n, blocks, b);
+      for (std::size_t i = lo; i < hi; ++i) perm[cursor[key(i)]++] = i;
+    }
+  });
+  return perm;
+}
+
+/// General parallel comparison sort. Splits into 2^k blocks (one per thread,
+/// rounded down), std::sorts blocks, then merges adjacent pairs in parallel
+/// rounds. Not stable. Falls back to std::sort for small inputs.
+template <class It, class Compare = std::less<>>
+void parallel_sort(It first, It last, Compare comp = {}) {
+  const auto n = static_cast<std::size_t>(last - first);
+  const int nthreads = num_threads();
+  if (n < (std::size_t{1} << 14) || nthreads == 1 || in_parallel()) {
+    std::sort(first, last, comp);
+    return;
+  }
+  std::size_t blocks = 1;
+  while (blocks * 2 <= static_cast<std::size_t>(nthreads)) blocks *= 2;
+
+  std::vector<std::size_t> bounds(blocks + 1);
+  bounds[0] = 0;
+  for (std::size_t b = 0; b < blocks; ++b)
+    bounds[b + 1] = block_range(n, blocks, b).hi;
+
+#pragma omp parallel for schedule(dynamic, 1)
+  for (std::size_t b = 0; b < blocks; ++b)
+    std::sort(first + static_cast<std::ptrdiff_t>(bounds[b]),
+              first + static_cast<std::ptrdiff_t>(bounds[b + 1]), comp);
+
+  for (std::size_t width = 1; width < blocks; width *= 2) {
+    const std::size_t pairs = blocks / (2 * width);
+#pragma omp parallel for schedule(dynamic, 1)
+    for (std::size_t p = 0; p < pairs; ++p) {
+      const std::size_t lo = bounds[p * 2 * width];
+      const std::size_t mid = bounds[p * 2 * width + width];
+      const std::size_t hi = bounds[p * 2 * width + 2 * width];
+      std::inplace_merge(first + static_cast<std::ptrdiff_t>(lo),
+                         first + static_cast<std::ptrdiff_t>(mid),
+                         first + static_cast<std::ptrdiff_t>(hi), comp);
+    }
+  }
+}
+
+}  // namespace gee::par

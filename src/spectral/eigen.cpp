@@ -1,0 +1,242 @@
+#include "spectral/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "parallel/parallel_for.hpp"
+#include "util/rng.hpp"
+
+namespace gee::spectral {
+
+namespace {
+
+using graph::Csr;
+using graph::VertexId;
+
+/// y = A x for symmetric CSR A (parallel over rows).
+void matvec(const Csr& a, const double* x, double* y) {
+  const VertexId n = a.num_vertices();
+  gee::par::parallel_for_dynamic(VertexId{0}, n, [&](VertexId u) {
+    const auto neigh = a.neighbors(u);
+    const auto w = a.edge_weights(u);
+    double sum = 0;
+    for (std::size_t j = 0; j < neigh.size(); ++j) {
+      sum += (w.empty() ? 1.0 : static_cast<double>(w[j])) * x[neigh[j]];
+    }
+    y[u] = sum;
+  });
+}
+
+/// Modified Gram-Schmidt on k column vectors of length n (column-major
+/// storage: vecs[c] is one vector).
+void orthonormalize(std::vector<std::vector<double>>& vecs) {
+  for (std::size_t c = 0; c < vecs.size(); ++c) {
+    auto& v = vecs[c];
+    for (std::size_t p = 0; p < c; ++p) {
+      const auto& u = vecs[p];
+      double dot = 0;
+      for (std::size_t i = 0; i < v.size(); ++i) dot += u[i] * v[i];
+      for (std::size_t i = 0; i < v.size(); ++i) v[i] -= dot * u[i];
+    }
+    double norm = 0;
+    for (const double x : v) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm < 1e-300) {
+      throw std::runtime_error("subspace iteration: basis collapsed");
+    }
+    for (double& x : v) x /= norm;
+  }
+}
+
+}  // namespace
+
+std::vector<EigenPair> jacobi_eigen(const std::vector<double>& matrix,
+                                    std::size_t n, int max_sweeps,
+                                    double tolerance) {
+  if (matrix.size() != n * n) {
+    throw std::invalid_argument("jacobi_eigen: matrix size != n*n");
+  }
+  std::vector<double> a = matrix;
+  std::vector<double> v(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) off += a[i * n + j] * a[i * n + j];
+    }
+    if (std::sqrt(off) < tolerance) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        const double theta = 0.5 * (aqq - app) / apq;
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Rotate rows/columns p and q.
+        for (std::size_t i = 0; i < n; ++i) {
+          const double aip = a[i * n + p];
+          const double aiq = a[i * n + q];
+          a[i * n + p] = c * aip - s * aiq;
+          a[i * n + q] = s * aip + c * aiq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double api = a[p * n + i];
+          const double aqi = a[q * n + i];
+          a[p * n + i] = c * api - s * aqi;
+          a[q * n + i] = s * api + c * aqi;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vip = v[i * n + p];
+          const double viq = v[i * n + q];
+          v[i * n + p] = c * vip - s * viq;
+          v[i * n + q] = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  std::vector<EigenPair> pairs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pairs[i].value = a[i * n + i];
+    pairs[i].vector.resize(n);
+    for (std::size_t r = 0; r < n; ++r) pairs[i].vector[r] = v[r * n + i];
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const EigenPair& x, const EigenPair& y) {
+    return std::abs(x.value) > std::abs(y.value);
+  });
+  return pairs;
+}
+
+std::vector<EigenPair> topk_eigen(const Csr& symmetric, int k,
+                                  const SubspaceOptions& options) {
+  const VertexId n = symmetric.num_vertices();
+  if (k < 1 || static_cast<VertexId>(k) > n) {
+    throw std::invalid_argument("topk_eigen: need 1 <= k <= n");
+  }
+  const auto kk = static_cast<std::size_t>(k);
+
+  // Random initial basis.
+  gee::util::Xoshiro256 rng(options.seed);
+  std::vector<std::vector<double>> basis(kk, std::vector<double>(n));
+  for (auto& vec : basis) {
+    for (double& x : vec) x = rng.next_normal();
+  }
+  orthonormalize(basis);
+
+  std::vector<std::vector<double>> av(kk, std::vector<double>(n));
+  std::vector<double> prev_values(kk, 0.0);
+  std::vector<double> ritz(kk * kk);
+  std::vector<EigenPair> small;
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    for (std::size_t c = 0; c < kk; ++c) {
+      matvec(symmetric, basis[c].data(), av[c].data());
+    }
+    // Rayleigh-Ritz: B = Q^T A Q (k x k), eigendecompose densely.
+    for (std::size_t i = 0; i < kk; ++i) {
+      for (std::size_t j = 0; j < kk; ++j) {
+        double dot = 0;
+        for (VertexId r = 0; r < n; ++r) dot += basis[i][r] * av[j][r];
+        ritz[i * kk + j] = dot;
+      }
+    }
+    small = jacobi_eigen(ritz, kk);
+
+    // New basis: Q <- A Q rotated by the Ritz vectors, re-orthonormalized.
+    std::vector<std::vector<double>> next(kk, std::vector<double>(n, 0.0));
+    for (std::size_t c = 0; c < kk; ++c) {
+      for (std::size_t j = 0; j < kk; ++j) {
+        const double coeff = small[c].vector[j];
+        const auto& col = av[j];
+        auto& dst = next[c];
+        for (VertexId r = 0; r < n; ++r) dst[r] += coeff * col[r];
+      }
+    }
+    orthonormalize(next);
+    basis.swap(next);
+
+    double worst = 0;
+    for (std::size_t c = 0; c < kk; ++c) {
+      const double denom = std::max(std::abs(small[c].value), 1e-12);
+      worst = std::max(worst,
+                       std::abs(small[c].value - prev_values[c]) / denom);
+      prev_values[c] = small[c].value;
+    }
+    if (worst < options.tolerance) break;
+  }
+
+  std::vector<EigenPair> result(kk);
+  for (std::size_t c = 0; c < kk; ++c) {
+    result[c].value = prev_values[c];
+    result[c].vector = basis[c];
+  }
+  return result;
+}
+
+namespace {
+
+std::vector<double> scaled_embedding(const std::vector<EigenPair>& pairs,
+                                     VertexId n) {
+  const auto kk = pairs.size();
+  std::vector<double> z(static_cast<std::size_t>(n) * kk);
+  for (std::size_t c = 0; c < kk; ++c) {
+    const double scale = std::sqrt(std::abs(pairs[c].value));
+    for (VertexId r = 0; r < n; ++r) {
+      z[static_cast<std::size_t>(r) * kk + c] = scale * pairs[c].vector[r];
+    }
+  }
+  return z;
+}
+
+}  // namespace
+
+std::vector<double> adjacency_spectral_embedding(
+    const Csr& symmetric, int k, const SubspaceOptions& options) {
+  return scaled_embedding(topk_eigen(symmetric, k, options),
+                          symmetric.num_vertices());
+}
+
+std::vector<double> laplacian_spectral_embedding(
+    const Csr& symmetric, int k, const SubspaceOptions& options) {
+  const VertexId n = symmetric.num_vertices();
+  // Weighted degrees from row sums; normalize each edge by sqrt(d_u d_v).
+  std::vector<double> degree(n, 0.0);
+  gee::par::parallel_for_dynamic(VertexId{0}, n, [&](VertexId u) {
+    const auto w = symmetric.edge_weights(u);
+    if (w.empty()) {
+      degree[u] = static_cast<double>(symmetric.degree(u));
+    } else {
+      double sum = 0;
+      for (const float x : w) sum += x;
+      degree[u] = sum;
+    }
+  });
+  std::vector<graph::EdgeId> offsets(symmetric.offsets().begin(),
+                                     symmetric.offsets().end());
+  std::vector<VertexId> targets(symmetric.targets().begin(),
+                                symmetric.targets().end());
+  std::vector<graph::Weight> weights(symmetric.num_edges());
+  gee::par::parallel_for_dynamic(VertexId{0}, n, [&](VertexId u) {
+    const auto row = symmetric.neighbors(u);
+    const auto off = symmetric.offsets()[u];
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      const double d = degree[u] * degree[row[j]];
+      weights[off + j] = static_cast<graph::Weight>(
+          d > 0 ? static_cast<double>(symmetric.weight_at(off + j)) /
+                      std::sqrt(d)
+                : 0.0);
+    }
+  });
+  const Csr normalized(std::move(offsets), std::move(targets),
+                       std::move(weights));
+  return scaled_embedding(topk_eigen(normalized, k, options), n);
+}
+
+}  // namespace gee::spectral

@@ -1,0 +1,97 @@
+// Cache-line-aligned, optionally uninitialized storage.
+//
+// The embedding matrix Z is n*K doubles (2.6 GB at Friendster scale in the
+// paper). std::vector value-initializes, which (a) touches every page on one
+// thread and (b) defeats first-touch NUMA placement. UninitBuffer allocates
+// aligned raw storage for trivially-copyable types and leaves initialization
+// to the caller, which zero-fills in parallel (see par::fill_zero).
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <utility>
+
+namespace gee::util {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Owning, 64-byte-aligned buffer of trivially-copyable T. Contents are
+/// uninitialized after construction and resize -- callers must fill before
+/// reading (debug builds can memset via GEE_POISON_BUFFERS if desired).
+template <class T>
+class UninitBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "UninitBuffer requires trivially copyable element types");
+
+ public:
+  UninitBuffer() noexcept = default;
+
+  explicit UninitBuffer(std::size_t n) { allocate(n); }
+
+  UninitBuffer(const UninitBuffer&) = delete;
+  UninitBuffer& operator=(const UninitBuffer&) = delete;
+
+  UninitBuffer(UninitBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  UninitBuffer& operator=(UninitBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  ~UninitBuffer() { release(); }
+
+  /// Discard contents and reallocate to exactly n elements.
+  void reset(std::size_t n) {
+    release();
+    allocate(n);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  [[nodiscard]] std::span<T> span() noexcept { return {data_, size_}; }
+  [[nodiscard]] std::span<const T> span() const noexcept { return {data_, size_}; }
+
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+ private:
+  void allocate(std::size_t n) {
+    size_ = n;
+    if (n == 0) {
+      data_ = nullptr;
+      return;
+    }
+    data_ = static_cast<T*>(::operator new[](
+        n * sizeof(T), std::align_val_t{kCacheLineBytes}));
+  }
+
+  void release() noexcept {
+    if (data_ != nullptr) {
+      ::operator delete[](data_, std::align_val_t{kCacheLineBytes});
+      data_ = nullptr;
+    }
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace gee::util

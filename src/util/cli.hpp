@@ -1,0 +1,54 @@
+// Small command-line parser for the example and bench executables.
+//
+// Supports `--name value`, `--name=value`, and boolean `--flag`. Unknown
+// arguments are an error (with help text) so typos never silently run a
+// default experiment. No positional arguments -- every input is named,
+// which keeps invocations self-documenting in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gee::util {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  /// Declare options. `help` is shown by --help; `default_value` is used by
+  /// the typed getters when the option was not supplied.
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value = {});
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parse argv. Returns false (after printing usage) on error or --help.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Spec {
+    std::string help;
+    std::string default_value;
+    bool is_flag = false;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::vector<std::pair<std::string, Spec>> specs_;  // declaration order
+  std::map<std::string, std::string> values_;
+
+  [[nodiscard]] const Spec* find(const std::string& name) const;
+};
+
+}  // namespace gee::util

@@ -1,0 +1,71 @@
+#include "util/env.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace gee::util {
+
+std::optional<std::string> env_string(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+std::optional<std::int64_t> env_int(const char* name) {
+  auto s = env_string(name);
+  if (!s) return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(*s, &pos);
+    if (pos != s->size()) throw std::invalid_argument("trailing chars");
+    return v;
+  } catch (const std::exception&) {
+    log_warn(std::string("env ") + name + "='" + *s + "' is not an integer; ignored");
+    return std::nullopt;
+  }
+}
+
+std::optional<double> env_double(const char* name) {
+  auto s = env_string(name);
+  if (!s) return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(*s, &pos);
+    if (pos != s->size()) throw std::invalid_argument("trailing chars");
+    return v;
+  } catch (const std::exception&) {
+    log_warn(std::string("env ") + name + "='" + *s + "' is not a number; ignored");
+    return std::nullopt;
+  }
+}
+
+std::optional<bool> env_bool(const char* name) {
+  auto s = env_string(name);
+  if (!s) return std::nullopt;
+  std::string v = *s;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  log_warn(std::string("env ") + name + "='" + *s + "' is not a boolean; ignored");
+  return std::nullopt;
+}
+
+std::int64_t env_or(const char* name, std::int64_t fallback) {
+  return env_int(name).value_or(fallback);
+}
+double env_or(const char* name, double fallback) {
+  return env_double(name).value_or(fallback);
+}
+bool env_or(const char* name, bool fallback) {
+  return env_bool(name).value_or(fallback);
+}
+std::string env_or(const char* name, const std::string& fallback) {
+  return env_string(name).value_or(fallback);
+}
+
+}  // namespace gee::util

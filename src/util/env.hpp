@@ -1,0 +1,34 @@
+// Typed environment-variable access.
+//
+// Benchmarks are scaled through GEE_BENCH_* environment variables (see
+// DESIGN.md section 4) so that `for b in build/bench/*; do $b; done` runs a
+// laptop-sized configuration by default while bigger machines can reproduce
+// paper-scale inputs without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace gee::util {
+
+/// Raw lookup; nullopt when unset or empty.
+std::optional<std::string> env_string(const char* name);
+
+/// Parse as int64; nullopt when unset/unparseable (a warning is logged for
+/// unparseable values so typos do not silently fall back to defaults).
+std::optional<std::int64_t> env_int(const char* name);
+
+/// Parse as double; same contract as env_int.
+std::optional<double> env_double(const char* name);
+
+/// Parse "1/true/yes/on" vs "0/false/no/off" (case-insensitive).
+std::optional<bool> env_bool(const char* name);
+
+/// Convenience: value if set, otherwise fallback.
+std::int64_t env_or(const char* name, std::int64_t fallback);
+double env_or(const char* name, double fallback);
+bool env_or(const char* name, bool fallback);
+std::string env_or(const char* name, const std::string& fallback);
+
+}  // namespace gee::util

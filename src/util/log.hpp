@@ -1,0 +1,26 @@
+// Minimal leveled logging to stderr.
+//
+// Level is process-global and initialized from the GEE_LOG_LEVEL environment
+// variable ("debug", "info", "warn", "error"; default "info"). Logging is
+// deliberately tiny: benches and examples print their results on stdout and
+// use the log only for diagnostics, so stdout stays machine-parseable.
+#pragma once
+
+#include <string>
+
+namespace gee::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Current process-wide level (first call reads GEE_LOG_LEVEL).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_at(LogLevel level, const std::string& msg);
+
+inline void log_debug(const std::string& msg) { log_at(LogLevel::kDebug, msg); }
+inline void log_info(const std::string& msg) { log_at(LogLevel::kInfo, msg); }
+inline void log_warn(const std::string& msg) { log_at(LogLevel::kWarn, msg); }
+inline void log_error(const std::string& msg) { log_at(LogLevel::kError, msg); }
+
+}  // namespace gee::util

@@ -1,0 +1,73 @@
+// Streaming and batch summary statistics.
+//
+// Benchmarks report min/median over repeated runs (min is the standard
+// reporting convention for wall-clock microbenchmarks: it is the least
+// noise-contaminated order statistic), and the generator tests use
+// mean/stddev to check distributional properties of sampled graphs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace gee::util {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void push(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Merge another accumulator into this one (parallel-reduction friendly).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary of a sample: order statistics plus moments.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0, max = 0, mean = 0, stddev = 0;
+  double p25 = 0, median = 0, p75 = 0, p95 = 0, p99 = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Compute a Summary over `values` (copies and sorts internally).
+Summary summarize(std::span<const double> values);
+
+/// Linear-interpolation percentile of a *sorted* sample, q in [0,1].
+double percentile_sorted(std::span<const double> sorted, double q);
+
+/// Run `fn` `repeats` times, returning each run's wall-clock seconds.
+/// Used by the bench harness; first (warm-up) run can be discarded by caller.
+template <class Fn>
+std::vector<double> time_repeats(int repeats, Fn&& fn) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    Timer t;
+    fn();
+    times.push_back(t.seconds());
+  }
+  return times;
+}
+
+}  // namespace gee::util

@@ -1,0 +1,127 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace gee::util {
+
+void TextTable::set_header(std::vector<std::string> names) {
+  header_ = std::move(names);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::begin_row() { rows_.emplace_back(); }
+
+void TextTable::cell(std::string v) {
+  if (rows_.empty()) begin_row();
+  rows_.back().push_back(std::move(v));
+}
+
+void TextTable::cell(double v, int precision) {
+  cell(format_double(v, precision));
+}
+
+void TextTable::cell(std::size_t v) { cell(std::to_string(v)); }
+void TextTable::cell(long long v) { cell(std::to_string(v)); }
+
+std::string TextTable::to_text() const {
+  // Column widths over header + all rows.
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<std::size_t> width(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream os;
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& v = c < r.size() ? r[c] : std::string{};
+      os << v << std::string(width[c] - v.size(), ' ');
+      if (c + 1 < ncols) os << "  ";
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < ncols; ++c) total += width[c] + (c + 1 < ncols ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& v) {
+  if (v.find_first_of(",\"\n") == std::string::npos) return v;
+  std::string out = "\"";
+  for (char ch : v) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string TextTable::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(r[c]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << to_text(); }
+
+bool TextTable::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    log_warn("TextTable: cannot open '" + path + "' for writing");
+    return false;
+  }
+  f << to_csv();
+  return static_cast<bool>(f);
+}
+
+std::string format_count(std::size_t v) {
+  char buf[64];
+  const auto d = static_cast<double>(v);
+  if (v >= 1000ULL * 1000 * 1000) {
+    std::snprintf(buf, sizeof buf, "%.2fB", d / 1e9);
+  } else if (v >= 1000ULL * 1000) {
+    std::snprintf(buf, sizeof buf, "%.2fM", d / 1e6);
+  } else if (v >= 1000ULL) {
+    std::snprintf(buf, sizeof buf, "%.1fK", d / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%zu", v);
+  }
+  return buf;
+}
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+  return buf;
+}
+
+}  // namespace gee::util

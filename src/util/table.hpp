@@ -1,0 +1,64 @@
+// Aligned text tables and CSV emission.
+//
+// Every bench binary prints its paper artifact (Table I, Figures 2-4) as an
+// aligned text table on stdout and can additionally write the same rows as
+// CSV for plotting, so the repo regenerates both the human-readable and the
+// machine-readable form of each result.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gee::util {
+
+/// Column-aligned text table with an optional title and CSV export.
+///
+/// Cells are stored as strings; numeric convenience overloads format with
+/// a fixed number of significant digits. Missing trailing cells render empty.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Define the header row. Must be called before add_row for aligned output.
+  void set_header(std::vector<std::string> names);
+
+  /// Append a fully formed row of cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Incremental row construction: begin_row() then cell(...) calls.
+  void begin_row();
+  void cell(std::string v);
+  void cell(const char* v) { cell(std::string(v)); }
+  void cell(double v, int precision = 4);
+  void cell(std::size_t v);
+  void cell(long long v);
+  void cell(int v) { cell(static_cast<long long>(v)); }
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const {
+    return rows_.at(i);
+  }
+
+  /// Render aligned text (two-space column gutters, header underline).
+  [[nodiscard]] std::string to_text() const;
+  /// Render RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Print to a stream (to_text) -- benches use print(std::cout).
+  void print(std::ostream& os) const;
+  /// Write CSV to a file path; returns false (and logs) on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers shared by bench output.
+std::string format_count(std::size_t v);    ///< 1234567 -> "1.23M"
+std::string format_double(double v, int precision = 4);
+
+}  // namespace gee::util

@@ -1,0 +1,21 @@
+#include "util/timer.hpp"
+
+#include <cstdio>
+
+namespace gee::util {
+
+std::string format_seconds(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", seconds * 1e3);
+  } else if (seconds >= 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.1f us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+}  // namespace gee::util

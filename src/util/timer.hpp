@@ -1,0 +1,63 @@
+// Wall-clock timing helpers used by every benchmark and by the per-phase
+// timing reported in gee::Result. steady_clock only: benchmarks must never
+// observe wall-clock adjustments.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace gee::util {
+
+/// Simple wall-clock stopwatch. Started on construction.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  /// Restart the stopwatch and return the elapsed seconds up to now.
+  double restart() noexcept {
+    const auto now = Clock::now();
+    const double s = seconds_between(start_, now);
+    start_ = now;
+    return s;
+  }
+
+  /// Elapsed seconds since construction or last restart().
+  [[nodiscard]] double seconds() const noexcept {
+    return seconds_between(start_, Clock::now());
+  }
+
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  static double seconds_between(Clock::time_point a, Clock::time_point b) noexcept {
+    return std::chrono::duration<double>(b - a).count();
+  }
+
+  Clock::time_point start_;
+};
+
+/// Measures the wall time of `fn()` and returns {seconds, fn-result}.
+template <class Fn>
+auto timed(Fn&& fn) -> std::pair<double, decltype(fn())> {
+  Timer t;
+  auto result = fn();
+  return {t.seconds(), std::move(result)};
+}
+
+/// void-returning overload of timed(): returns elapsed seconds.
+template <class Fn>
+  requires std::is_void_v<decltype(std::declval<Fn>()())>
+double timed_void(Fn&& fn) {
+  Timer t;
+  fn();
+  return t.seconds();
+}
+
+/// Format a duration like "6.42 s" / "13.1 ms" / "874 us" for human output.
+std::string format_seconds(double seconds);
+
+}  // namespace gee::util

@@ -1,0 +1,339 @@
+// Tests for k-means, Louvain, and the partition metrics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "cluster/kmeans.hpp"
+#include "cluster/louvain.hpp"
+#include "cluster/metrics.hpp"
+#include "gen/sbm.hpp"
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gee::cluster;
+using namespace gee::graph;
+
+// ------------------------------------------------------------------ metrics
+
+TEST(Ari, IdenticalPartitionsScoreOne) {
+  const std::vector<std::int32_t> a{0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, a), 1.0);
+}
+
+TEST(Ari, PermutedLabelsStillScoreOne) {
+  const std::vector<std::int32_t> a{0, 0, 1, 1, 2, 2};
+  const std::vector<std::int32_t> b{2, 2, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, b), 1.0);
+}
+
+TEST(Ari, IndependentPartitionsScoreNearZero) {
+  gee::util::Xoshiro256 rng(3);
+  std::vector<std::int32_t> a(10000), b(10000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<std::int32_t>(rng.next_below(5));
+    b[i] = static_cast<std::int32_t>(rng.next_below(5));
+  }
+  EXPECT_NEAR(adjusted_rand_index(a, b), 0.0, 0.01);
+}
+
+TEST(Ari, HandComputedSplit) {
+  // a: {0,0,0,1,1,1}; b: {0,0,1,1,1,1} -- one item moved across.
+  const std::vector<std::int32_t> a{0, 0, 0, 1, 1, 1};
+  const std::vector<std::int32_t> b{0, 0, 1, 1, 1, 1};
+  // Contingency: [[2,1],[0,3]]. sum_cells C2 = 1 + 0 + 0 + 3 = 4.
+  // rows: C2(3)+C2(3)=6; cols: C2(2)+C2(4)=7; total C2(6)=15.
+  // expected = 6*7/15 = 2.8; max = 6.5. ARI = (4-2.8)/(6.5-2.8).
+  EXPECT_NEAR(adjusted_rand_index(a, b), (4 - 2.8) / (6.5 - 2.8), 1e-12);
+}
+
+TEST(Ari, IgnoresUnknownLabels) {
+  const std::vector<std::int32_t> a{0, 0, 1, 1, -1};
+  const std::vector<std::int32_t> b{0, 0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, b), 1.0);
+}
+
+TEST(Nmi, BoundsAndIdentity) {
+  const std::vector<std::int32_t> a{0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(normalized_mutual_information(a, a), 1.0);
+  gee::util::Xoshiro256 rng(9);
+  std::vector<std::int32_t> b(6);
+  for (auto& x : b) x = static_cast<std::int32_t>(rng.next_below(3));
+  const double nmi = normalized_mutual_information(a, b);
+  EXPECT_GE(nmi, 0.0);
+  EXPECT_LE(nmi, 1.0 + 1e-12);
+}
+
+TEST(Nmi, IndependentNearZero) {
+  gee::util::Xoshiro256 rng(5);
+  std::vector<std::int32_t> a(20000), b(20000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<std::int32_t>(rng.next_below(4));
+    b[i] = static_cast<std::int32_t>(rng.next_below(4));
+  }
+  EXPECT_LT(normalized_mutual_information(a, b), 0.01);
+}
+
+TEST(Purity, HandComputed) {
+  // Cluster 0: truth {0,0,1} -> majority 2; cluster 1: truth {1,1} -> 2.
+  const std::vector<std::int32_t> clusters{0, 0, 0, 1, 1};
+  const std::vector<std::int32_t> truth{0, 0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(purity(clusters, truth), 4.0 / 5.0);
+}
+
+TEST(ContingencyTable, CountsPairs) {
+  const std::vector<std::int32_t> a{0, 0, 1, -1};
+  const std::vector<std::int32_t> b{1, 1, 0, 0};
+  const auto t = contingency_table(a, b);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0][1], 2u);
+  EXPECT_EQ(t[1][0], 1u);
+  EXPECT_EQ(t[0][0], 0u);
+  EXPECT_THROW(contingency_table(a, std::vector<std::int32_t>{0}),
+               std::invalid_argument);
+}
+
+TEST(Modularity, PerfectCommunitiesBeatRandomLabels) {
+  // Two disjoint cliques of 10.
+  EdgeList el(20);
+  for (VertexId base : {0u, 10u}) {
+    for (VertexId i = 0; i < 10; ++i) {
+      for (VertexId j = i + 1; j < 10; ++j) el.add(base + i, base + j);
+    }
+  }
+  const Graph g = Graph::build(el, GraphKind::kUndirected);
+  std::vector<std::int32_t> perfect(20, 0);
+  for (int i = 10; i < 20; ++i) perfect[static_cast<std::size_t>(i)] = 1;
+  const double q_perfect = modularity(g.out(), perfect);
+  EXPECT_NEAR(q_perfect, 0.5, 1e-9);  // textbook value for 2 equal cliques
+
+  const std::vector<std::int32_t> all_one(20, 0);
+  EXPECT_NEAR(modularity(g.out(), all_one), 0.0, 1e-9);
+}
+
+// ------------------------------------------------------------------ k-means
+
+/// Three well-separated Gaussian blobs in 2D.
+std::vector<double> blobs(std::size_t per_cluster,
+                          std::vector<std::int32_t>* truth,
+                          std::uint64_t seed) {
+  gee::util::Xoshiro256 rng(seed);
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  std::vector<double> data;
+  for (int c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      data.push_back(centers[c][0] + rng.next_normal() * 0.5);
+      data.push_back(centers[c][1] + rng.next_normal() * 0.5);
+      truth->push_back(c);
+    }
+  }
+  return data;
+}
+
+TEST(KMeans, RecoversSeparatedBlobs) {
+  std::vector<std::int32_t> truth;
+  const auto data = blobs(200, &truth, 1);
+  const auto result = kmeans(data, 600, 2, 3, {.seed = 4});
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(adjusted_rand_index(result.assignment, truth), 0.99);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  std::vector<std::int32_t> truth;
+  const auto data = blobs(100, &truth, 2);
+  const double inertia1 = kmeans(data, 300, 2, 1).inertia;
+  const double inertia3 = kmeans(data, 300, 2, 3).inertia;
+  EXPECT_LT(inertia3, inertia1 * 0.1);
+}
+
+TEST(KMeans, SingleClusterCentroidIsMean) {
+  const std::vector<double> data{0, 0, 2, 0, 4, 6};
+  const auto result = kmeans(data, 3, 2, 1);
+  EXPECT_DOUBLE_EQ(result.centers[0], 2.0);
+  EXPECT_DOUBLE_EQ(result.centers[1], 2.0);
+}
+
+TEST(KMeans, KEqualsNPutsEachPointAlone) {
+  const std::vector<double> data{0, 0, 5, 5, 9, 9};
+  const auto result = kmeans(data, 3, 2, 3, {.seed = 2});
+  std::set<std::int32_t> distinct(result.assignment.begin(),
+                                  result.assignment.end());
+  EXPECT_EQ(distinct.size(), 3u);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, InvalidArguments) {
+  const std::vector<double> data{0, 0};
+  EXPECT_THROW(kmeans(data, 1, 2, 0), std::invalid_argument);
+  EXPECT_THROW(kmeans(data, 1, 2, 2), std::invalid_argument);
+  EXPECT_THROW(kmeans(data, 2, 2, 1), std::invalid_argument);  // size mismatch
+}
+
+TEST(KMeans, DeterministicForSeed) {
+  std::vector<std::int32_t> truth;
+  const auto data = blobs(50, &truth, 3);
+  const auto a = kmeans(data, 150, 2, 3, {.seed = 11});
+  const auto b = kmeans(data, 150, 2, 3, {.seed = 11});
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.inertia, b.inertia);
+}
+
+// ------------------------------------------------------------------ Louvain
+
+TEST(Louvain, TwoCliquesWithBridge) {
+  EdgeList el(12);
+  for (VertexId base : {0u, 6u}) {
+    for (VertexId i = 0; i < 6; ++i) {
+      for (VertexId j = i + 1; j < 6; ++j) el.add(base + i, base + j);
+    }
+  }
+  el.add(0, 6);  // bridge
+  const Graph g = Graph::build(el, GraphKind::kUndirected);
+  const auto result = louvain(g.out());
+  EXPECT_EQ(result.num_communities, 2);
+  // All of clique 1 together, all of clique 2 together.
+  for (VertexId v = 1; v < 6; ++v) {
+    EXPECT_EQ(result.community[v], result.community[0]);
+  }
+  for (VertexId v = 7; v < 12; ++v) {
+    EXPECT_EQ(result.community[v], result.community[6]);
+  }
+  EXPECT_NE(result.community[0], result.community[6]);
+  EXPECT_GT(result.modularity, 0.4);
+}
+
+TEST(Louvain, RecoversPlantedSbmBlocks) {
+  const auto sbm_result =
+      gee::gen::sbm(gee::gen::SbmParams::balanced(600, 3, 0.20, 0.005), 7);
+  const Graph g = Graph::build(sbm_result.edges, GraphKind::kUndirected);
+  const auto result = louvain(g.out());
+  EXPECT_GT(
+      adjusted_rand_index(result.community, sbm_result.labels), 0.95);
+  EXPECT_GT(result.modularity, 0.3);
+}
+
+TEST(Louvain, ModularityNeverBelowTrivialPartition) {
+  const auto sbm_result =
+      gee::gen::sbm(gee::gen::SbmParams::balanced(300, 4, 0.1, 0.02), 3);
+  const Graph g = Graph::build(sbm_result.edges, GraphKind::kUndirected);
+  const auto result = louvain(g.out());
+  // Trivial all-singleton partition has negative-ish modularity; Louvain
+  // must end at something clearly positive here.
+  EXPECT_GT(result.modularity, 0.0);
+  EXPECT_LT(result.num_communities, 300);
+}
+
+TEST(Louvain, EmptyAndEdgelessGraphs) {
+  const Graph g = Graph::build(EdgeList(5), GraphKind::kUndirected, {}, 5);
+  const auto result = louvain(g.out());
+  EXPECT_EQ(result.num_communities, 5);  // every vertex its own community
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(result.community[v], static_cast<std::int32_t>(v));
+  }
+}
+
+// ------------------------------------------------------------------- Leiden
+
+/// True iff every group induces a connected subgraph of `csr`.
+bool groups_connected(const Csr& csr, std::span<const std::int32_t> group) {
+  const VertexId n = csr.num_vertices();
+  std::vector<std::int32_t> seen(n, 0);
+  for (VertexId start = 0; start < n; ++start) {
+    if (seen[start] != 0) continue;
+    // BFS within start's group.
+    std::vector<VertexId> stack{start};
+    seen[start] = 1;
+    std::size_t reached = 0;
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      ++reached;
+      for (const VertexId v : csr.neighbors(u)) {
+        if (group[v] == group[start] && seen[v] == 0) {
+          seen[v] = 1;
+          stack.push_back(v);
+        }
+      }
+    }
+    // Count the group's total size; if BFS reached fewer, it's split.
+    std::size_t size = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (group[v] == group[start]) ++size;
+    }
+    if (reached != size) return false;
+  }
+  return true;
+}
+
+TEST(Leiden, RefinedGroupsAreConnectedAndNested) {
+  gee::util::Xoshiro256 rng(7);
+  EdgeList el(150);
+  for (int e = 0; e < 900; ++e) {
+    const auto u = static_cast<VertexId>(rng.next_below(150));
+    const auto v = static_cast<VertexId>(rng.next_below(150));
+    if (u != v) el.add(u, v);
+  }
+  const Graph g = Graph::build(el, GraphKind::kUndirected);
+  const auto coarse = louvain(g.out(), {.seed = 3});
+  const auto refined = refine_partition(g.out(), coarse.community, 5);
+
+  EXPECT_TRUE(groups_connected(g.out(), refined.group));
+  // Nesting: refined groups never cross coarse community boundaries.
+  for (VertexId u = 0; u < 150; ++u) {
+    for (VertexId v = 0; v < 150; ++v) {
+      if (refined.group[u] == refined.group[v]) {
+        ASSERT_EQ(coarse.community[u], coarse.community[v]);
+      }
+    }
+  }
+  EXPECT_GE(refined.num_groups, coarse.num_communities);
+}
+
+TEST(Leiden, QualityComparableToLouvainOnSbm) {
+  const auto sbm_result =
+      gee::gen::sbm(gee::gen::SbmParams::balanced(600, 3, 0.20, 0.005), 9);
+  const Graph g = Graph::build(sbm_result.edges, GraphKind::kUndirected);
+  const auto base = louvain(g.out(), {.seed = 1});
+  const auto refined = leiden(g.out(), {.seed = 1});
+  EXPECT_GT(adjusted_rand_index(refined.community, sbm_result.labels), 0.95);
+  EXPECT_GT(refined.modularity, base.modularity - 0.02);
+}
+
+TEST(Leiden, TwoCliquesWithBridge) {
+  EdgeList el(12);
+  for (VertexId base : {0u, 6u}) {
+    for (VertexId i = 0; i < 6; ++i) {
+      for (VertexId j = i + 1; j < 6; ++j) el.add(base + i, base + j);
+    }
+  }
+  el.add(0, 6);
+  const Graph g = Graph::build(el, GraphKind::kUndirected);
+  const auto result = leiden(g.out());
+  EXPECT_EQ(result.num_communities, 2);
+  EXPECT_TRUE(groups_connected(g.out(), result.community));
+}
+
+TEST(Leiden, DeterministicForSeed) {
+  const auto sbm_result =
+      gee::gen::sbm(gee::gen::SbmParams::balanced(200, 2, 0.2, 0.02), 5);
+  const Graph g = Graph::build(sbm_result.edges, GraphKind::kUndirected);
+  EXPECT_EQ(leiden(g.out(), {.seed = 4}).community,
+            leiden(g.out(), {.seed = 4}).community);
+}
+
+TEST(Louvain, DeterministicForSeed) {
+  const auto sbm_result =
+      gee::gen::sbm(gee::gen::SbmParams::balanced(200, 2, 0.2, 0.02), 5);
+  const Graph g = Graph::build(sbm_result.edges, GraphKind::kUndirected);
+  const auto a = louvain(g.out(), {.seed = 3});
+  const auto b = louvain(g.out(), {.seed = 3});
+  EXPECT_EQ(a.community, b.community);
+  EXPECT_EQ(a.modularity, b.modularity);
+}
+
+}  // namespace

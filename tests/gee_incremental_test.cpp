@@ -1,0 +1,144 @@
+// Tests for incremental and out-of-sample GEE.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gee/gee.hpp"
+#include "gee/incremental.hpp"
+#include "gen/labels.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gee::core;
+using namespace gee::graph;
+
+EdgeList random_edges(VertexId n, EdgeId m, std::uint64_t seed) {
+  gee::util::Xoshiro256 rng(seed);
+  EdgeList el(n);
+  for (EdgeId e = 0; e < m; ++e) {
+    auto u = static_cast<VertexId>(rng.next_below(n));
+    auto v = static_cast<VertexId>(rng.next_below(n));
+    while (u == v) v = static_cast<VertexId>(rng.next_below(n));
+    el.add(u, v, static_cast<Weight>(rng.next_below(4) + 1));
+  }
+  el.ensure_vertices(n);
+  return el;
+}
+
+TEST(IncrementalGee, StreamingEqualsBatch) {
+  const auto el = random_edges(300, 4000, 3);
+  const auto y = gee::gen::semi_supervised_labels(300, 6, 0.4, 5);
+  const auto batch = embed_edges(el, y, {.backend = Backend::kCompiledSerial});
+
+  IncrementalGee inc(y);
+  inc.add_edges(el);
+  EXPECT_EQ(inc.edges_applied(), el.num_edges());
+  EXPECT_LT(max_abs_diff(inc.embedding(), batch.z), 1e-12);
+}
+
+TEST(IncrementalGee, SingleEdgeMatchesHandComputation) {
+  // Y = {0, 1}: c0 = c1 = 1, W weights 1.
+  const std::vector<std::int32_t> y{0, 1};
+  IncrementalGee inc(y);
+  inc.add_edge(0, 1, 2.0f);
+  EXPECT_DOUBLE_EQ(inc.embedding().at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(inc.embedding().at(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(inc.embedding().at(0, 0), 0.0);
+}
+
+TEST(IncrementalGee, RemoveUndoesAdd) {
+  const auto el = random_edges(100, 1000, 7);
+  const auto y = gee::gen::semi_supervised_labels(100, 4, 0.5, 9);
+  IncrementalGee inc(y);
+  inc.add_edges(el);
+
+  // Remove a subset and verify against a batch over the remainder.
+  EdgeList removed(100), remaining(100);
+  for (EdgeId e = 0; e < el.num_edges(); ++e) {
+    auto& target = (e % 3 == 0) ? removed : remaining;
+    target.add(el.src(e), el.dst(e), el.weight(e));
+  }
+  inc.remove_edges(removed);
+  const auto batch =
+      embed_edges(remaining, y, {.backend = Backend::kCompiledSerial});
+  EXPECT_LT(max_abs_diff(inc.embedding(), batch.z), 1e-10);
+}
+
+TEST(IncrementalGee, StartFromBatchResult) {
+  const auto el = random_edges(200, 2000, 11);
+  const auto y = gee::gen::semi_supervised_labels(200, 5, 0.3, 13);
+  auto batch = embed_edges(el, y, {.backend = Backend::kLigraParallel});
+
+  IncrementalGee inc(std::move(batch), y);
+  inc.add_edge(0, 1);
+
+  // Fresh batch over the extended edge list must agree.
+  EdgeList extended = el;
+  extended.add(0, 1);
+  const auto expected =
+      embed_edges(extended, y, {.backend = Backend::kCompiledSerial});
+  EXPECT_LT(max_abs_diff(inc.embedding(), expected.z), 1e-9);
+}
+
+TEST(IncrementalGee, Validation) {
+  const std::vector<std::int32_t> y{0, 1};
+  IncrementalGee inc(y);
+  EXPECT_THROW(inc.add_edge(0, 5), std::out_of_range);
+  EXPECT_THROW(IncrementalGee(std::vector<std::int32_t>{-1, -1}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(IncrementalGee(std::vector<std::int32_t>{-1, -1}, 3));
+}
+
+TEST(IncrementalGee, ParallelStreamMatchesSerial) {
+  const auto el = random_edges(500, 50000, 17);
+  const auto y = gee::gen::semi_supervised_labels(500, 8, 0.2, 19);
+  IncrementalGee inc(y);
+  inc.add_edges(el);  // parallel bulk with atomic adds
+  const auto batch = embed_edges(el, y, {.backend = Backend::kCompiledSerial});
+  EXPECT_LT(max_abs_diff(inc.embedding(), batch.z), 1e-10);
+}
+
+TEST(OutOfSample, MatchesInSampleRow) {
+  // Build a graph where vertex 0's row comes only from source-side updates
+  // (0 is unlabeled so it donates nothing), then recompute 0's row
+  // out-of-sample from its neighbor list.
+  const VertexId n = 50;
+  auto y = gee::gen::semi_supervised_labels(n, 4, 0.6, 21);
+  y[0] = -1;
+  EdgeList el(n);
+  gee::util::Xoshiro256 rng(23);
+  std::vector<std::pair<VertexId, Weight>> neighbors;
+  for (int i = 0; i < 10; ++i) {
+    const auto v = static_cast<VertexId>(1 + rng.next_below(n - 1));
+    el.add(0, v, 1.5f);
+    neighbors.emplace_back(v, 1.5f);
+  }
+  const auto batch = embed_edges(el, y, {.backend = Backend::kCompiledSerial});
+  const auto projection = build_projection(y);
+  const auto row = embed_out_of_sample(projection, y, neighbors);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NEAR(row[static_cast<std::size_t>(c)], batch.z.at(0, c), 1e-12);
+  }
+}
+
+TEST(OutOfSample, UnlabeledNeighborsContributeNothing) {
+  const std::vector<std::int32_t> y{-1, 2};
+  const auto projection = build_projection(y, 3);
+  const std::vector<std::pair<VertexId, Weight>> neighbors{{0, 1.0f},
+                                                           {1, 2.0f}};
+  const auto row = embed_out_of_sample(projection, y, neighbors);
+  EXPECT_DOUBLE_EQ(row[0], 0.0);
+  EXPECT_DOUBLE_EQ(row[1], 0.0);
+  EXPECT_DOUBLE_EQ(row[2], 2.0);  // only the labeled neighbor
+}
+
+TEST(OutOfSample, RejectsBadNeighbor) {
+  const std::vector<std::int32_t> y{0};
+  const auto projection = build_projection(y);
+  const std::vector<std::pair<VertexId, Weight>> neighbors{{9, 1.0f}};
+  EXPECT_THROW(embed_out_of_sample(projection, y, neighbors),
+               std::out_of_range);
+}
+
+}  // namespace

@@ -1,0 +1,384 @@
+// Tests for the graph generators: exact counts, value ranges, determinism
+// across thread counts (the chunked-RNG contract), and distributional
+// sanity (ER uniformity, SBM block densities, R-MAT degree skew).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/labels.hpp"
+#include "gen/rmat.hpp"
+#include "gen/sbm.hpp"
+#include "graph/builder.hpp"
+#include "graph/validation.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace {
+
+using namespace gee::gen;
+using namespace gee::graph;
+using gee::par::ThreadScope;
+
+// ------------------------------------------------------------- Erdős–Rényi
+
+TEST(ErdosRenyiGnm, ExactEdgeCountAndRange) {
+  const auto el = erdos_renyi_gnm(1000, 50000, 1);
+  EXPECT_EQ(el.num_edges(), 50000u);
+  EXPECT_EQ(el.num_vertices(), 1000u);
+  for (EdgeId e = 0; e < el.num_edges(); ++e) {
+    ASSERT_LT(el.src(e), 1000u);
+    ASSERT_LT(el.dst(e), 1000u);
+    ASSERT_NE(el.src(e), el.dst(e));  // loop-free default
+  }
+}
+
+TEST(ErdosRenyiGnm, SelfLoopsWhenAllowed) {
+  const auto el = erdos_renyi_gnm(10, 20000, 2, {.allow_self_loops = true});
+  bool any_loop = false;
+  for (EdgeId e = 0; e < el.num_edges(); ++e) {
+    any_loop |= el.src(e) == el.dst(e);
+  }
+  EXPECT_TRUE(any_loop);  // expected ~2000 loops; P(none) ~ 0
+}
+
+TEST(ErdosRenyiGnm, DeterministicAcrossThreadCounts) {
+  EdgeList ref;
+  {
+    ThreadScope scope(1);
+    ref = erdos_renyi_gnm(500, 300000, 7);
+  }
+  for (int t : {2, 8}) {
+    ThreadScope scope(t);
+    ASSERT_EQ(erdos_renyi_gnm(500, 300000, 7), ref) << "threads " << t;
+  }
+}
+
+TEST(ErdosRenyiGnm, SeedChangesOutput) {
+  EXPECT_NE(erdos_renyi_gnm(100, 1000, 1), erdos_renyi_gnm(100, 1000, 2));
+}
+
+TEST(ErdosRenyiGnm, DegreesApproximatelyUniform) {
+  // Out-degrees of G(n, m) are Binomial(m, 1/n): mean 100, sd ~10.
+  const VertexId n = 500;
+  const auto el = erdos_renyi_gnm(n, 50000, 3);
+  const Csr csr = build_csr(el, n);
+  const auto stats = degree_stats(csr);
+  EXPECT_NEAR(stats.mean, 100.0, 0.01);
+  EXPECT_GT(stats.min, 40u);   // ~6 sd below mean
+  EXPECT_LT(stats.max, 200u);  // ~10 sd above mean
+}
+
+TEST(ErdosRenyiGnm, InvalidArguments) {
+  EXPECT_THROW(erdos_renyi_gnm(0, 5, 1), std::invalid_argument);
+  EXPECT_THROW(erdos_renyi_gnm(1, 5, 1), std::invalid_argument);
+  EXPECT_NO_THROW(erdos_renyi_gnm(1, 5, 1, {.allow_self_loops = true}));
+  EXPECT_EQ(erdos_renyi_gnm(0, 0, 1).num_edges(), 0u);
+}
+
+TEST(ErdosRenyiGnp, EdgeCountNearExpectation) {
+  const VertexId n = 1000;
+  const double p = 0.01;
+  const auto el = erdos_renyi_gnp(n, p, 4);
+  // Expected edges: p * n * (n-1) (ordered pairs, no loops) ~ 9990, sd ~100.
+  const double expected = p * n * (n - 1);
+  EXPECT_NEAR(static_cast<double>(el.num_edges()), expected, 5 * 100.0);
+  for (EdgeId e = 0; e < el.num_edges(); ++e) {
+    ASSERT_NE(el.src(e), el.dst(e));
+  }
+}
+
+TEST(ErdosRenyiGnp, NoDuplicateOrderedPairs) {
+  const auto el = erdos_renyi_gnp(200, 0.05, 5);
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (EdgeId e = 0; e < el.num_edges(); ++e) {
+    ASSERT_TRUE(seen.insert({el.src(e), el.dst(e)}).second);
+  }
+}
+
+TEST(ErdosRenyiGnp, DeterministicAcrossThreadCounts) {
+  EdgeList ref;
+  {
+    ThreadScope scope(1);
+    ref = erdos_renyi_gnp(2000, 0.01, 6);
+  }
+  ThreadScope scope(8);
+  EXPECT_EQ(erdos_renyi_gnp(2000, 0.01, 6), ref);
+}
+
+TEST(ErdosRenyiGnp, EdgeCases) {
+  EXPECT_EQ(erdos_renyi_gnp(100, 0.0, 1).num_edges(), 0u);
+  EXPECT_EQ(erdos_renyi_gnp(0, 0.5, 1).num_edges(), 0u);
+  // p = 1: complete directed graph without loops.
+  const auto el = erdos_renyi_gnp(20, 1.0, 1);
+  EXPECT_EQ(el.num_edges(), 20u * 19u);
+  EXPECT_THROW(erdos_renyi_gnp(10, 1.5, 1), std::invalid_argument);
+  EXPECT_THROW(erdos_renyi_gnp(10, -0.1, 1), std::invalid_argument);
+}
+
+TEST(ErdosRenyiGnp, BernoulliFrequencyPerPair) {
+  // With p = 0.3 and 100 vertices, specific pair (3, 7) should appear in
+  // ~30% of seeds.
+  int hits = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const auto el = erdos_renyi_gnp(20, 0.3, seed);
+    for (EdgeId e = 0; e < el.num_edges(); ++e) {
+      if (el.src(e) == 3 && el.dst(e) == 7) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  EXPECT_NEAR(hits / 200.0, 0.3, 0.12);
+}
+
+// --------------------------------------------------------------------- SBM
+
+TEST(Sbm, BalancedParamsPartitionVertices) {
+  const auto params = SbmParams::balanced(10, 3, 0.5, 0.1);
+  EXPECT_EQ(params.block_sizes, (std::vector<VertexId>{4, 3, 3}));
+  EXPECT_EQ(params.num_vertices(), 10u);
+  EXPECT_DOUBLE_EQ(params.connectivity[0][0], 0.5);
+  EXPECT_DOUBLE_EQ(params.connectivity[0][1], 0.1);
+}
+
+TEST(Sbm, ValidateRejectsBadParams) {
+  SbmParams p = SbmParams::balanced(10, 2, 0.5, 0.1);
+  p.connectivity[0][1] = 0.3;  // asymmetric
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = SbmParams::balanced(10, 2, 1.5, 0.1);
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = SbmParams::balanced(10, 2, 0.5, 0.1);
+  p.connectivity.pop_back();
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Sbm, LabelsMatchBlockLayout) {
+  const auto result = sbm(SbmParams::balanced(100, 4, 0.2, 0.01), 1);
+  ASSERT_EQ(result.labels.size(), 100u);
+  EXPECT_EQ(result.labels[0], 0);
+  EXPECT_EQ(result.labels[25], 1);
+  EXPECT_EQ(result.labels[99], 3);
+  EXPECT_TRUE(std::is_sorted(result.labels.begin(), result.labels.end()));
+}
+
+TEST(Sbm, EdgesAreUpperTriangular) {
+  const auto result = sbm(SbmParams::balanced(200, 2, 0.1, 0.02), 2);
+  for (EdgeId e = 0; e < result.edges.num_edges(); ++e) {
+    ASSERT_LT(result.edges.src(e), result.edges.dst(e));
+  }
+}
+
+TEST(Sbm, BlockDensitiesMatchProbabilities) {
+  const VertexId n = 1000;
+  const double p_in = 0.10, p_out = 0.01;
+  const auto result = sbm(SbmParams::balanced(n, 2, p_in, p_out), 3);
+
+  EdgeId within = 0, across = 0;
+  for (EdgeId e = 0; e < result.edges.num_edges(); ++e) {
+    const bool same = result.labels[result.edges.src(e)] ==
+                      result.labels[result.edges.dst(e)];
+    (same ? within : across)++;
+  }
+  // Pairs within: 2 * C(500,2) = 249500; across: 500*500 = 250000.
+  const double density_in = static_cast<double>(within) / 249500.0;
+  const double density_out = static_cast<double>(across) / 250000.0;
+  EXPECT_NEAR(density_in, p_in, 0.01);
+  EXPECT_NEAR(density_out, p_out, 0.003);
+}
+
+TEST(Sbm, DeterministicAcrossThreadCounts) {
+  const auto params = SbmParams::balanced(500, 3, 0.1, 0.01);
+  SbmResult ref;
+  {
+    ThreadScope scope(1);
+    ref = sbm(params, 9);
+  }
+  ThreadScope scope(8);
+  const auto got = sbm(params, 9);
+  EXPECT_EQ(got.edges, ref.edges);
+  EXPECT_EQ(got.labels, ref.labels);
+}
+
+TEST(Sbm, ZeroProbabilityBlocksProduceNoEdges) {
+  SbmParams params = SbmParams::balanced(100, 2, 0.2, 0.0);
+  const auto result = sbm(params, 4);
+  for (EdgeId e = 0; e < result.edges.num_edges(); ++e) {
+    ASSERT_EQ(result.labels[result.edges.src(e)],
+              result.labels[result.edges.dst(e)]);
+  }
+}
+
+// -------------------------------------------------------------------- R-MAT
+
+TEST(Rmat, CountsAndRange) {
+  const auto el = rmat(10, 16, 1);
+  EXPECT_EQ(el.num_vertices(), 1024u);
+  EXPECT_EQ(el.num_edges(), 16u * 1024u);
+  for (EdgeId e = 0; e < el.num_edges(); ++e) {
+    ASSERT_LT(el.src(e), 1024u);
+    ASSERT_LT(el.dst(e), 1024u);
+    ASSERT_NE(el.src(e), el.dst(e));
+  }
+}
+
+TEST(Rmat, DeterministicAcrossThreadCounts) {
+  EdgeList ref;
+  {
+    ThreadScope scope(1);
+    ref = rmat(12, 16, 5);
+  }
+  ThreadScope scope(8);
+  EXPECT_EQ(rmat(12, 16, 5), ref);
+}
+
+TEST(Rmat, SkewedDegreesVersusErdosRenyi) {
+  // Same n, m: R-MAT max degree must far exceed ER max degree.
+  const auto el_rmat = rmat(12, 16, 3);
+  const auto el_er =
+      erdos_renyi_gnm(el_rmat.num_vertices(), el_rmat.num_edges(), 3);
+  const auto s_rmat = degree_stats(build_csr(el_rmat, el_rmat.num_vertices()));
+  const auto s_er = degree_stats(build_csr(el_er, el_er.num_vertices()));
+  EXPECT_GT(s_rmat.max, 3 * s_er.max);
+  // And a heavy tail: p99 well above the median.
+  EXPECT_GT(s_rmat.p99, 2.0 * s_rmat.median);
+}
+
+TEST(Rmat, PermutationPreservesDegreeMultiset) {
+  RmatOptions no_perm;
+  no_perm.permute_vertices = false;
+  const auto a = rmat(10, 8, 7, no_perm);
+  const auto b = rmat(10, 8, 7, {});  // permuted, same seed
+  auto degrees = [](const EdgeList& el) {
+    std::vector<EdgeId> d(el.num_vertices(), 0);
+    for (EdgeId e = 0; e < el.num_edges(); ++e) d[el.src(e)]++;
+    std::sort(d.begin(), d.end());
+    return d;
+  };
+  EXPECT_EQ(degrees(a), degrees(b));
+  EXPECT_NE(a, b);  // but the labeling differs
+}
+
+TEST(Rmat, InvalidArguments) {
+  EXPECT_THROW(rmat(0, 4, 1), std::invalid_argument);
+  EXPECT_THROW(rmat(32, 4, 1), std::invalid_argument);
+  RmatOptions bad;
+  bad.a = 0.9;  // a+b+c+d != 1
+  EXPECT_THROW(rmat(5, 4, 1, bad), std::invalid_argument);
+}
+
+TEST(RmatApprox, HitsRequestedSizes) {
+  const auto el = rmat_approx(3'000'00, 1'170'000, 11);  // Orkut/10 shape
+  EXPECT_EQ(el.num_vertices(), 300000u);
+  EXPECT_EQ(el.num_edges(), 1170000u);
+  const auto stats = degree_stats(build_csr(el, el.num_vertices()));
+  EXPECT_GT(stats.max, 50u);  // skew survives folding
+}
+
+TEST(RmatApprox, NonPowerOfTwoVertices) {
+  const auto el = rmat_approx(1000, 8000, 2);
+  EXPECT_EQ(el.num_vertices(), 1000u);
+  EXPECT_EQ(el.num_edges(), 8000u);
+  for (EdgeId e = 0; e < el.num_edges(); ++e) {
+    ASSERT_LT(el.src(e), 1000u);
+    ASSERT_LT(el.dst(e), 1000u);
+    ASSERT_NE(el.src(e), el.dst(e));
+  }
+}
+
+// ------------------------------------------------------------------ labels
+
+TEST(Labels, SemiSupervisedExactCountAndRange) {
+  const auto y = semi_supervised_labels(10000, 50, 0.10, 1);
+  ASSERT_EQ(y.size(), 10000u);
+  EXPECT_EQ(num_labeled(y), 1000u);  // exactly 10%
+  for (auto v : y) {
+    ASSERT_GE(v, -1);
+    ASSERT_LT(v, 50);
+  }
+  EXPECT_EQ(num_classes(y), 50);  // all 50 classes hit w.h.p. at 1000 draws
+}
+
+TEST(Labels, FractionZeroAndOne) {
+  const auto none = semi_supervised_labels(100, 5, 0.0, 1);
+  EXPECT_EQ(num_labeled(none), 0u);
+  EXPECT_EQ(num_classes(none), 0);
+  const auto all = semi_supervised_labels(100, 5, 1.0, 1);
+  EXPECT_EQ(num_labeled(all), 100u);
+}
+
+TEST(Labels, SemiSupervisedDeterministic) {
+  EXPECT_EQ(semi_supervised_labels(1000, 10, 0.2, 3),
+            semi_supervised_labels(1000, 10, 0.2, 3));
+  EXPECT_NE(semi_supervised_labels(1000, 10, 0.2, 3),
+            semi_supervised_labels(1000, 10, 0.2, 4));
+}
+
+TEST(Labels, SemiSupervisedClassBalance) {
+  const auto y = semi_supervised_labels(100000, 10, 0.5, 5);
+  std::map<std::int32_t, int> counts;
+  for (auto v : y) {
+    if (v >= 0) counts[v]++;
+  }
+  for (const auto& [cls, count] : counts) {
+    EXPECT_NEAR(count, 5000, 400) << "class " << cls;
+  }
+}
+
+TEST(Labels, InvalidArguments) {
+  EXPECT_THROW(semi_supervised_labels(10, 0, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(semi_supervised_labels(10, 5, 1.5, 1), std::invalid_argument);
+  EXPECT_THROW(observe_labels(std::vector<std::int32_t>{0}, -0.5, 1),
+               std::invalid_argument);
+}
+
+TEST(Labels, ObserveKeepsTruthValuesOnly) {
+  std::vector<std::int32_t> truth(20000);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    truth[i] = static_cast<std::int32_t>(i % 7);
+  }
+  const auto observed = observe_labels(truth, 0.25, 2);
+  VertexId kept = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (observed[i] >= 0) {
+      ASSERT_EQ(observed[i], truth[i]);
+      ++kept;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(kept) / 20000.0, 0.25, 0.02);
+}
+
+TEST(Labels, ObserveExactCountAndTruthfulness) {
+  std::vector<std::int32_t> truth(1000);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    truth[i] = static_cast<std::int32_t>(i % 4);
+  }
+  const auto observed = observe_labels_exact(truth, 0.10, 5);
+  EXPECT_EQ(num_labeled(observed), 100u);  // exactly 10%
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (observed[i] >= 0) {
+      ASSERT_EQ(observed[i], truth[i]);
+    }
+  }
+  // Deterministic; different seeds select different subsets.
+  EXPECT_EQ(observe_labels_exact(truth, 0.10, 5), observed);
+  EXPECT_NE(observe_labels_exact(truth, 0.10, 6), observed);
+  EXPECT_EQ(num_labeled(observe_labels_exact(truth, 0.0, 1)), 0u);
+  EXPECT_EQ(num_labeled(observe_labels_exact(truth, 1.0, 1)), 1000u);
+  EXPECT_THROW(observe_labels_exact(truth, 1.0001, 1), std::invalid_argument);
+}
+
+TEST(Labels, ObserveDeterministicAcrossThreadCounts) {
+  std::vector<std::int32_t> truth(50000, 3);
+  std::vector<std::int32_t> ref;
+  {
+    ThreadScope scope(1);
+    ref = observe_labels(truth, 0.5, 7);
+  }
+  ThreadScope scope(8);
+  EXPECT_EQ(observe_labels(truth, 0.5, 7), ref);
+}
+
+}  // namespace

@@ -1,0 +1,260 @@
+// Round-trip and error-handling tests for the three graph I/O formats.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "graph/builder.hpp"
+#include "graph/io.hpp"
+#include "graph/validation.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gee::graph;
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("gee_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static EdgeList sample_edges(bool weighted) {
+    gee::util::Xoshiro256 rng(5);
+    EdgeList el(200);
+    for (int e = 0; e < 1000; ++e) {
+      const auto u = static_cast<VertexId>(rng.next_below(200));
+      const auto v = static_cast<VertexId>(rng.next_below(200));
+      if (weighted) {
+        el.add(u, v, static_cast<Weight>(rng.next_below(100)) / 4.0f);
+      } else {
+        el.add(u, v);
+      }
+    }
+    return el;
+  }
+
+  std::filesystem::path dir_;
+};
+
+// ----------------------------------------------------------- text edge list
+
+TEST_F(IoTest, TextRoundTripUnweighted) {
+  const EdgeList el = sample_edges(false);
+  write_edge_list_text(el, path("a.txt"));
+  const EdgeList back = read_edge_list_text(path("a.txt"));
+  EXPECT_EQ(back.num_edges(), el.num_edges());
+  EXPECT_FALSE(back.weighted());
+  for (EdgeId e = 0; e < el.num_edges(); ++e) {
+    ASSERT_EQ(back.src(e), el.src(e));
+    ASSERT_EQ(back.dst(e), el.dst(e));
+  }
+}
+
+TEST_F(IoTest, TextRoundTripWeighted) {
+  const EdgeList el = sample_edges(true);
+  write_edge_list_text(el, path("w.txt"));
+  const EdgeList back = read_edge_list_text(path("w.txt"));
+  ASSERT_TRUE(back.weighted());
+  for (EdgeId e = 0; e < el.num_edges(); ++e) {
+    ASSERT_EQ(back.weight(e), el.weight(e));
+  }
+}
+
+TEST_F(IoTest, TextSkipsCommentsAndBlankLines) {
+  {
+    std::ofstream f(path("c.txt"));
+    f << "# SNAP header\n% matrix-market style\n\n  \n0 1\n# mid comment\n2 3\n";
+  }
+  const EdgeList el = read_edge_list_text(path("c.txt"));
+  EXPECT_EQ(el.num_edges(), 2u);
+  EXPECT_EQ(el.src(1), 2u);
+}
+
+TEST_F(IoTest, TextHandlesTabsAndCRLF) {
+  {
+    std::ofstream f(path("t.txt"));
+    f << "0\t1\r\n5\t2\t2.5\r\n";
+  }
+  const EdgeList el = read_edge_list_text(path("t.txt"));
+  ASSERT_EQ(el.num_edges(), 2u);
+  EXPECT_EQ(el.dst(0), 1u);
+  EXPECT_EQ(el.weight(1), 2.5f);
+}
+
+TEST_F(IoTest, TextRejectsGarbage) {
+  {
+    std::ofstream f(path("bad.txt"));
+    f << "0 not_a_number\n";
+  }
+  EXPECT_THROW(read_edge_list_text(path("bad.txt")), std::runtime_error);
+}
+
+TEST_F(IoTest, TextRejectsTooManyFields) {
+  {
+    std::ofstream f(path("bad2.txt"));
+    f << "0 1 2.0 extra\n";
+  }
+  EXPECT_THROW(read_edge_list_text(path("bad2.txt")), std::runtime_error);
+}
+
+TEST_F(IoTest, TextRejectsWeightsWhenDisallowed) {
+  {
+    std::ofstream f(path("bad3.txt"));
+    f << "0 1 2.0\n";
+  }
+  TextReadOptions opt;
+  opt.allow_weights = false;
+  EXPECT_THROW(read_edge_list_text(path("bad3.txt"), opt), std::runtime_error);
+}
+
+TEST_F(IoTest, TextMissingFileThrows) {
+  EXPECT_THROW(read_edge_list_text(path("nope.txt")), std::runtime_error);
+}
+
+TEST_F(IoTest, TextNoTrailingNewline) {
+  {
+    std::ofstream f(path("nl.txt"));
+    f << "0 1\n2 3";  // no trailing newline
+  }
+  EXPECT_EQ(read_edge_list_text(path("nl.txt")).num_edges(), 2u);
+}
+
+// ----------------------------------------------------------------- binary
+
+TEST_F(IoTest, BinaryRoundTripExact) {
+  for (bool weighted : {false, true}) {
+    const EdgeList el = sample_edges(weighted);
+    const std::string p = path(weighted ? "w.geeb" : "u.geeb");
+    write_edge_list_binary(el, p);
+    const EdgeList back = read_edge_list_binary(p);
+    EXPECT_EQ(back, el) << "weighted=" << weighted;
+  }
+}
+
+TEST_F(IoTest, BinaryEmptyList) {
+  const EdgeList el(7);
+  write_edge_list_binary(el, path("e.geeb"));
+  const EdgeList back = read_edge_list_binary(path("e.geeb"));
+  EXPECT_EQ(back.num_vertices(), 7u);
+  EXPECT_EQ(back.num_edges(), 0u);
+}
+
+TEST_F(IoTest, BinaryRejectsBadMagic) {
+  {
+    std::ofstream f(path("bad.geeb"), std::ios::binary);
+    f << "NOPE and more bytes to get past the header";
+  }
+  EXPECT_THROW(read_edge_list_binary(path("bad.geeb")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRejectsTruncation) {
+  const EdgeList el = sample_edges(false);
+  write_edge_list_binary(el, path("t.geeb"));
+  // Truncate the file to half size.
+  const auto full = std::filesystem::file_size(path("t.geeb"));
+  std::filesystem::resize_file(path("t.geeb"), full / 2);
+  EXPECT_THROW(read_edge_list_binary(path("t.geeb")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRejectsOutOfRangeVertex) {
+  // Hand-craft a file with n=1 but an edge to vertex 5.
+  std::ofstream f(path("oor.geeb"), std::ios::binary);
+  f << "GEEB";
+  const std::uint32_t version = 1, n = 1;
+  const std::uint64_t m = 1;
+  const std::uint8_t weighted = 0;
+  f.write(reinterpret_cast<const char*>(&version), 4);
+  f.write(reinterpret_cast<const char*>(&n), 4);
+  f.write(reinterpret_cast<const char*>(&m), 8);
+  f.write(reinterpret_cast<const char*>(&weighted), 1);
+  const std::uint32_t src = 0, dst = 5;
+  f.write(reinterpret_cast<const char*>(&src), 4);
+  f.write(reinterpret_cast<const char*>(&dst), 4);
+  f.close();
+  EXPECT_THROW(read_edge_list_binary(path("oor.geeb")), std::runtime_error);
+}
+
+// ------------------------------------------------------------------- Ligra
+
+TEST_F(IoTest, LigraRoundTripUnweighted) {
+  const Csr csr = build_csr(sample_edges(false), 200);
+  write_ligra_adjacency(csr, path("g.adj"));
+  const Csr back = read_ligra_adjacency(path("g.adj"));
+  EXPECT_TRUE(std::ranges::equal(back.offsets(), csr.offsets()));
+  EXPECT_TRUE(std::ranges::equal(back.targets(), csr.targets()));
+  EXPECT_FALSE(back.weighted());
+  EXPECT_TRUE(validate(back).empty());
+}
+
+TEST_F(IoTest, LigraRoundTripWeighted) {
+  const Csr csr = build_csr(sample_edges(true), 200);
+  write_ligra_adjacency(csr, path("gw.adj"));
+  const Csr back = read_ligra_adjacency(path("gw.adj"));
+  ASSERT_TRUE(back.weighted());
+  EXPECT_TRUE(std::ranges::equal(back.weights(), csr.weights()));
+}
+
+TEST_F(IoTest, LigraHeaderExactFormat) {
+  EdgeList el(3);
+  el.add(0, 1);
+  el.add(0, 2);
+  el.add(2, 0);
+  write_ligra_adjacency(build_csr(el, 3), path("h.adj"));
+  std::ifstream f(path("h.adj"));
+  std::string l1;
+  std::uint64_t n = 0, m = 0;
+  f >> l1 >> n >> m;
+  EXPECT_EQ(l1, "AdjacencyGraph");
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(m, 3u);
+  // First offsets: 0 (v0), 2 (v1), 2 (v2).
+  std::uint64_t o0 = 9, o1 = 9, o2 = 9;
+  f >> o0 >> o1 >> o2;
+  EXPECT_EQ(o0, 0u);
+  EXPECT_EQ(o1, 2u);
+  EXPECT_EQ(o2, 2u);
+}
+
+TEST_F(IoTest, LigraRejectsBadHeader) {
+  {
+    std::ofstream f(path("bad.adj"));
+    f << "NotAGraph\n3\n0\n";
+  }
+  EXPECT_THROW(read_ligra_adjacency(path("bad.adj")), std::runtime_error);
+}
+
+TEST_F(IoTest, LigraRejectsNonMonotoneOffsets) {
+  {
+    std::ofstream f(path("mono.adj"));
+    f << "AdjacencyGraph\n3\n2\n0\n2\n1\n0\n1\n";
+  }
+  EXPECT_THROW(read_ligra_adjacency(path("mono.adj")), std::runtime_error);
+}
+
+TEST_F(IoTest, LigraRejectsTargetOutOfRange) {
+  {
+    std::ofstream f(path("oor.adj"));
+    f << "AdjacencyGraph\n2\n1\n0\n1\n7\n";
+  }
+  EXPECT_THROW(read_ligra_adjacency(path("oor.adj")), std::runtime_error);
+}
+
+TEST_F(IoTest, LigraEmptyGraph) {
+  {
+    std::ofstream f(path("empty.adj"));
+    f << "AdjacencyGraph\n0\n0\n";
+  }
+  const Csr csr = read_ligra_adjacency(path("empty.adj"));
+  EXPECT_EQ(csr.num_vertices(), 0u);
+  EXPECT_EQ(csr.num_edges(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Betweenness centrality tests: hand-computed small graphs and a serial
+// Brandes oracle on random graphs (consistent multigraph semantics: both
+// implementations count parallel edges as distinct paths).
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "ligra/algorithms/betweenness.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gee::graph;
+using namespace gee::ligra;
+
+/// Serial Brandes single-source dependencies over the stored adjacency.
+std::vector<double> brandes_oracle(const Graph& g, VertexId s) {
+  const VertexId n = g.num_vertices();
+  std::vector<double> sigma(n, 0.0), delta(n, 0.0);
+  std::vector<std::int64_t> dist(n, -1);
+  std::vector<VertexId> order;  // vertices in non-decreasing distance
+  std::deque<VertexId> queue;
+
+  sigma[s] = 1;
+  dist[s] = 0;
+  queue.push_back(s);
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    order.push_back(u);
+    for (const VertexId v : g.out().neighbors(u)) {
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+      if (dist[v] == dist[u] + 1) sigma[v] += sigma[u];
+    }
+  }
+  for (std::size_t i = order.size(); i-- > 0;) {
+    const VertexId w = order[i];
+    for (const VertexId v : g.out().neighbors(w)) {
+      if (dist[v] == dist[w] + 1) {
+        delta[w] += sigma[w] / sigma[v] * (1.0 + delta[v]);
+      }
+    }
+  }
+  return delta;
+}
+
+TEST(Betweenness, PathGraphCenterCarriesAll) {
+  // 0 - 1 - 2: from source 0, vertex 1 lies on the single 0-2 path.
+  EdgeList el(3);
+  el.add(0, 1);
+  el.add(1, 2);
+  const Graph g = Graph::build(el, GraphKind::kUndirected);
+  const auto r = betweenness_from(g, 0);
+  EXPECT_DOUBLE_EQ(r.dependency[1], 1.0);
+  EXPECT_DOUBLE_EQ(r.dependency[2], 0.0);
+  EXPECT_DOUBLE_EQ(r.num_paths[2], 1.0);
+  EXPECT_EQ(r.level[2], 2u);
+}
+
+TEST(Betweenness, DiamondSplitsPaths) {
+  // Diamond 0-{1,2}-3: two shortest 0-3 paths, sigma[3] = 2, and the two
+  // middle vertices each carry half a dependency.
+  EdgeList el(4);
+  el.add(0, 1);
+  el.add(0, 2);
+  el.add(1, 3);
+  el.add(2, 3);
+  const Graph g = Graph::build(el, GraphKind::kUndirected);
+  const auto r = betweenness_from(g, 0);
+  EXPECT_DOUBLE_EQ(r.num_paths[3], 2.0);
+  EXPECT_DOUBLE_EQ(r.dependency[1], 0.5);
+  EXPECT_DOUBLE_EQ(r.dependency[2], 0.5);
+}
+
+TEST(Betweenness, MatchesOracleOnRandomGraphs) {
+  gee::util::Xoshiro256 rng(17);
+  for (int trial = 0; trial < 3; ++trial) {
+    EdgeList el(200);
+    for (int e = 0; e < 1500; ++e) {
+      const auto u = static_cast<VertexId>(rng.next_below(200));
+      const auto v = static_cast<VertexId>(rng.next_below(200));
+      if (u != v) el.add(u, v);
+    }
+    const Graph g = Graph::build(el, GraphKind::kUndirected);
+    const VertexId source = static_cast<VertexId>(rng.next_below(200));
+    const auto r = betweenness_from(g, source);
+    const auto oracle = brandes_oracle(g, source);
+    for (VertexId v = 0; v < 200; ++v) {
+      ASSERT_NEAR(r.dependency[v], oracle[v], 1e-9)
+          << "trial " << trial << " vertex " << v;
+    }
+  }
+}
+
+TEST(Betweenness, DirectedRespectsOrientation) {
+  // 0 -> 1 -> 2 and 0 -> 2 direct: two paths 0->2 of lengths 2 and 1; the
+  // shortest is the direct edge, so vertex 1 carries nothing.
+  EdgeList el(3);
+  el.add(0, 1);
+  el.add(1, 2);
+  el.add(0, 2);
+  const Graph g = Graph::build(el, GraphKind::kDirected);
+  const auto r = betweenness_from(g, 0);
+  EXPECT_DOUBLE_EQ(r.dependency[1], 0.0);
+  EXPECT_DOUBLE_EQ(r.num_paths[2], 1.0);
+}
+
+TEST(Betweenness, StarCenterFullCentrality) {
+  // Star with center 0 and 4 leaves: center lies on every leaf-leaf path.
+  EdgeList el(5);
+  for (VertexId v = 1; v < 5; ++v) el.add(0, v);
+  const Graph g = Graph::build(el, GraphKind::kUndirected);
+  const auto centrality = betweenness_centrality(g);
+  // From each leaf, center's dependency is 3 (paths to 3 other leaves).
+  EXPECT_DOUBLE_EQ(centrality[0], 4.0 * 3.0);
+  for (VertexId v = 1; v < 5; ++v) EXPECT_DOUBLE_EQ(centrality[v], 0.0);
+}
+
+TEST(Betweenness, UnreachedVerticesZero) {
+  EdgeList el(4);
+  el.add(0, 1);
+  // 2, 3 disconnected
+  const Graph g = Graph::build(el, GraphKind::kUndirected);
+  const auto r = betweenness_from(g, 0);
+  EXPECT_EQ(r.level[2], kInvalidVertex);
+  EXPECT_DOUBLE_EQ(r.dependency[2], 0.0);
+  EXPECT_DOUBLE_EQ(r.num_paths[3], 0.0);
+}
+
+}  // namespace

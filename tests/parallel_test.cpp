@@ -1,0 +1,437 @@
+// Tests for the parallel primitives: parallel_for, reductions, scans, pack,
+// histograms, sorts, and the lock-free atomic operations. Parallel results
+// are always checked against serial oracles, and key invariants (stability,
+// determinism across thread counts) are exercised with TEST_P sweeps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "parallel/atomics.hpp"
+#include "parallel/histogram.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
+#include "parallel/scan.hpp"
+#include "parallel/sort.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using gee::par::ThreadScope;
+using gee::util::Xoshiro256;
+
+// ------------------------------------------------------------- parallel_for
+
+TEST(ParallelFor, VisitsEveryIndexOnce) {
+  constexpr std::size_t kN = 100000;
+  std::vector<std::atomic<int>> visits(kN);
+  gee::par::parallel_for(std::size_t{0}, kN,
+                         [&](std::size_t i) { visits[i]++; });
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  int calls = 0;
+  gee::par::parallel_for(5, 5, [&](int) { ++calls; });
+  gee::par::parallel_for(7, 3, [&](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, SmallRangeRunsSerial) {
+  // Below the grain size the loop must run on the calling thread, in order.
+  std::vector<int> order;
+  gee::par::parallel_for(0, 100, [&](int i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(ParallelForDynamic, VisitsEveryIndexOnce) {
+  constexpr std::size_t kN = 50000;
+  std::vector<std::atomic<int>> visits(kN);
+  gee::par::parallel_for_dynamic(std::size_t{0}, kN,
+                                 [&](std::size_t i) { visits[i]++; });
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelTeam, CoversThreadIds) {
+  std::vector<int> seen(static_cast<std::size_t>(gee::par::num_threads()), 0);
+  gee::par::parallel_team([&](int tid, int team) {
+    ASSERT_GE(tid, 0);
+    ASSERT_LT(tid, team);
+    seen[static_cast<std::size_t>(tid)] = 1;
+  });
+  EXPECT_EQ(seen[0], 1);  // at minimum thread 0 ran
+}
+
+TEST(ThreadScope, RestoresThreadCount) {
+  const int before = gee::par::num_threads();
+  {
+    ThreadScope scope(1);
+    EXPECT_EQ(gee::par::num_threads(), 1);
+  }
+  EXPECT_EQ(gee::par::num_threads(), before);
+}
+
+TEST(BlockRange, PartitionIsExactAndBalanced) {
+  for (std::size_t n : {0u, 1u, 7u, 100u, 1001u}) {
+    for (std::size_t blocks : {1u, 2u, 3u, 8u, 24u}) {
+      std::size_t covered = 0;
+      std::size_t prev_hi = 0;
+      for (std::size_t b = 0; b < blocks; ++b) {
+        const auto [lo, hi] = gee::par::block_range(n, blocks, b);
+        ASSERT_EQ(lo, prev_hi);
+        ASSERT_LE(hi - lo, n / blocks + 1);
+        covered += hi - lo;
+        prev_hi = hi;
+      }
+      ASSERT_EQ(covered, n);
+      ASSERT_EQ(prev_hi, n);
+    }
+  }
+}
+
+TEST(FillZero, ZeroesEverything) {
+  std::vector<double> v(200000, 3.5);
+  gee::par::fill_zero(v.data(), v.size());
+  for (double x : v) ASSERT_EQ(x, 0.0);
+}
+
+TEST(Fill, SetsValue) {
+  std::vector<std::uint32_t> v(100000, 0);
+  gee::par::fill(v.data(), v.size(), std::uint32_t{7});
+  for (auto x : v) ASSERT_EQ(x, 7u);
+}
+
+// ------------------------------------------------------------------ atomics
+
+TEST(Atomics, WriteAddIntegerUnderContention) {
+  std::int64_t total = 0;
+  constexpr std::size_t kN = 1 << 20;
+  gee::par::parallel_for(std::size_t{0}, kN, [&](std::size_t) {
+    gee::par::write_add(total, std::int64_t{1});
+  }, /*grain=*/1024);
+  EXPECT_EQ(total, static_cast<std::int64_t>(kN));
+}
+
+TEST(Atomics, WriteAddDoubleUnderContention) {
+  double total = 0;
+  constexpr std::size_t kN = 1 << 20;
+  gee::par::parallel_for(std::size_t{0}, kN, [&](std::size_t) {
+    gee::par::write_add(total, 1.0);
+  }, /*grain=*/1024);
+  // All increments are exactly representable: equality must hold.
+  EXPECT_EQ(total, static_cast<double>(kN));
+}
+
+TEST(Atomics, WriteAddFloatNegativeDeltas) {
+  float x = 100.0f;
+  gee::par::write_add(x, -30.0f);
+  EXPECT_EQ(x, 70.0f);
+}
+
+TEST(Atomics, WriteMinLowersMonotonically) {
+  std::uint32_t x = 1000;
+  EXPECT_TRUE(gee::par::write_min(x, 10u));
+  EXPECT_EQ(x, 10u);
+  EXPECT_FALSE(gee::par::write_min(x, 500u));
+  EXPECT_EQ(x, 10u);
+  EXPECT_FALSE(gee::par::write_min(x, 10u));
+}
+
+TEST(Atomics, WriteMinParallelFindsGlobalMin) {
+  std::uint64_t best = UINT64_MAX;
+  constexpr std::size_t kN = 1 << 18;
+  gee::par::parallel_for(std::size_t{0}, kN, [&](std::size_t i) {
+    // hash to scramble order; min over i of hash(i)
+    gee::par::write_min(best, gee::util::hash_combine(99, i));
+  }, 1024);
+  std::uint64_t expected = UINT64_MAX;
+  for (std::size_t i = 0; i < kN; ++i)
+    expected = std::min(expected, gee::util::hash_combine(99, i));
+  EXPECT_EQ(best, expected);
+}
+
+TEST(Atomics, WriteMaxRaises) {
+  int x = 5;
+  EXPECT_TRUE(gee::par::write_max(x, 9));
+  EXPECT_FALSE(gee::par::write_max(x, 2));
+  EXPECT_EQ(x, 9);
+}
+
+TEST(Atomics, CasSucceedsOnceUnderContention) {
+  std::uint32_t slot = 0;
+  std::atomic<int> winners{0};
+  gee::par::parallel_for(std::size_t{0}, std::size_t{1 << 16},
+                         [&](std::size_t i) {
+                           if (gee::par::cas<std::uint32_t>(
+                                   slot, 0, static_cast<std::uint32_t>(i + 1)))
+                             winners++;
+                         }, 256);
+  EXPECT_EQ(winners.load(), 1);
+  EXPECT_NE(slot, 0u);
+}
+
+TEST(Atomics, TestAndSetFlagSingleWinner) {
+  constexpr std::size_t kFlags = 1000;
+  std::vector<unsigned char> flags(kFlags, 0);
+  std::vector<std::atomic<int>> wins(kFlags);
+  gee::par::parallel_for(std::size_t{0}, kFlags * 64, [&](std::size_t i) {
+    const std::size_t f = i % kFlags;
+    if (gee::par::test_and_set_flag(flags[f])) wins[f]++;
+  }, 512);
+  for (std::size_t f = 0; f < kFlags; ++f) {
+    ASSERT_EQ(wins[f].load(), 1) << "flag " << f;
+    ASSERT_EQ(flags[f], 1);
+  }
+}
+
+// ------------------------------------------------------------------- reduce
+
+TEST(Reduce, SumMatchesSerial) {
+  constexpr std::size_t kN = 1 << 20;
+  const auto sum = gee::par::reduce_sum<std::uint64_t>(
+      kN, [](std::size_t i) { return static_cast<std::uint64_t>(i); });
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(kN) * (kN - 1) / 2);
+}
+
+TEST(Reduce, EmptyReturnsIdentity) {
+  EXPECT_EQ(gee::par::reduce_sum<int>(0, [](std::size_t) { return 1; }), 0);
+  EXPECT_EQ(gee::par::reduce_max<int>(0, -1, [](std::size_t) { return 5; }), -1);
+}
+
+TEST(Reduce, MaxAndMin) {
+  constexpr std::size_t kN = 1 << 18;
+  auto key = [](std::size_t i) {
+    return static_cast<std::int64_t>(gee::util::hash_combine(3, i) % 100000);
+  };
+  const auto mx = gee::par::reduce_max<std::int64_t>(kN, INT64_MIN, key);
+  const auto mn = gee::par::reduce_min<std::int64_t>(kN, INT64_MAX, key);
+  std::int64_t emx = INT64_MIN, emn = INT64_MAX;
+  for (std::size_t i = 0; i < kN; ++i) {
+    emx = std::max(emx, key(i));
+    emn = std::min(emn, key(i));
+  }
+  EXPECT_EQ(mx, emx);
+  EXPECT_EQ(mn, emn);
+}
+
+TEST(Reduce, CountIf) {
+  const auto c = gee::par::count_if(1 << 20, [](std::size_t i) { return i % 3 == 0; });
+  EXPECT_EQ(c, (std::size_t{1} << 20) / 3 + 1);
+}
+
+// --------------------------------------------------------------------- scan
+
+class ScanSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScanSweep, ExclusiveMatchesSerialOracle) {
+  const std::size_t n = GetParam();
+  Xoshiro256 rng(n);
+  std::vector<std::uint64_t> in(n);
+  for (auto& x : in) x = rng.next_below(1000);
+
+  std::vector<std::uint64_t> expected(n);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    expected[i] = acc;
+    acc += in[i];
+  }
+
+  std::vector<std::uint64_t> out(n);
+  const auto total = gee::par::scan_exclusive(in.data(), out.data(), n);
+  EXPECT_EQ(total, acc);
+  EXPECT_EQ(out, expected);
+
+  // In-place operation must give identical results.
+  std::vector<std::uint64_t> inplace = in;
+  const auto total2 =
+      gee::par::scan_exclusive(inplace.data(), inplace.data(), n);
+  EXPECT_EQ(total2, acc);
+  EXPECT_EQ(inplace, expected);
+}
+
+TEST_P(ScanSweep, InclusiveMatchesSerialOracle) {
+  const std::size_t n = GetParam();
+  Xoshiro256 rng(n * 7 + 1);
+  std::vector<std::uint64_t> in(n);
+  for (auto& x : in) x = rng.next_below(1000);
+
+  std::vector<std::uint64_t> expected(n);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += in[i];
+    expected[i] = acc;
+  }
+
+  std::vector<std::uint64_t> out(n);
+  const auto total = gee::par::scan_inclusive(in.data(), out.data(), n);
+  EXPECT_EQ(total, acc);
+  EXPECT_EQ(out, expected);
+
+  std::vector<std::uint64_t> inplace = in;
+  gee::par::scan_inclusive(inplace.data(), inplace.data(), n);
+  EXPECT_EQ(inplace, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanSweep,
+                         ::testing::Values(0, 1, 2, 100, 1 << 15, (1 << 15) + 1,
+                                           1 << 18, 333333));
+
+TEST(Scan, DeterministicAcrossThreadCounts) {
+  constexpr std::size_t kN = 1 << 18;
+  std::vector<std::uint64_t> in(kN);
+  Xoshiro256 rng(5);
+  for (auto& x : in) x = rng.next_below(100);
+  std::vector<std::uint64_t> ref(kN);
+  {
+    ThreadScope scope(1);
+    gee::par::scan_exclusive(in.data(), ref.data(), kN);
+  }
+  for (int t : {2, 4, 8}) {
+    ThreadScope scope(t);
+    std::vector<std::uint64_t> out(kN);
+    gee::par::scan_exclusive(in.data(), out.data(), kN);
+    ASSERT_EQ(out, ref) << "threads=" << t;
+  }
+}
+
+// --------------------------------------------------------------------- pack
+
+TEST(Pack, KeepsOrderedSubset) {
+  constexpr std::size_t kN = 200000;
+  std::vector<std::uint32_t> in(kN);
+  for (std::size_t i = 0; i < kN; ++i) in[i] = static_cast<std::uint32_t>(i);
+  std::vector<std::uint32_t> out(kN);
+  const auto count = gee::par::pack(in.data(), out.data(), kN,
+                                    [&](std::size_t i) { return i % 7 == 0; });
+  ASSERT_EQ(count, (kN + 6) / 7);
+  for (std::size_t j = 0; j < count; ++j) ASSERT_EQ(out[j], j * 7);
+}
+
+TEST(Pack, EmptyAndFull) {
+  std::vector<int> in{1, 2, 3};
+  std::vector<int> out(3);
+  EXPECT_EQ(gee::par::pack(in.data(), out.data(), 3,
+                           [](std::size_t) { return false; }),
+            0u);
+  EXPECT_EQ(gee::par::pack(in.data(), out.data(), 3,
+                           [](std::size_t) { return true; }),
+            3u);
+  EXPECT_EQ(out, in);
+}
+
+TEST(PackIndex, ProducesSortedIndices) {
+  constexpr std::size_t kN = 100000;
+  std::vector<std::uint32_t> out(kN);
+  const auto count = gee::par::pack_index(
+      out.data(), kN, [](std::size_t i) { return i % 2 == 1; });
+  ASSERT_EQ(count, kN / 2);
+  for (std::size_t j = 0; j < count; ++j) ASSERT_EQ(out[j], 2 * j + 1);
+}
+
+// ---------------------------------------------------------------- histogram
+
+TEST(Histogram, MatchesSerialCount) {
+  constexpr std::size_t kN = 1 << 19;
+  constexpr std::size_t kBuckets = 257;
+  auto key = [](std::size_t i) {
+    return gee::util::hash_combine(1, i) % kBuckets;
+  };
+  const auto counts = gee::par::histogram(kN, kBuckets, key);
+  std::vector<std::uint64_t> expected(kBuckets, 0);
+  for (std::size_t i = 0; i < kN; ++i) expected[key(i)]++;
+  EXPECT_EQ(counts, expected);
+}
+
+TEST(Histogram, EmptyInput) {
+  const auto counts =
+      gee::par::histogram(0, 5, [](std::size_t) { return 0u; });
+  EXPECT_EQ(counts, std::vector<std::uint64_t>(5, 0));
+}
+
+// -------------------------------------------------------------------- sorts
+
+class SortSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SortSweep, ParallelSortMatchesStdSort) {
+  const std::size_t n = GetParam();
+  Xoshiro256 rng(n + 17);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng.next();
+  std::vector<std::uint64_t> expected = v;
+  std::sort(expected.begin(), expected.end());
+  gee::par::parallel_sort(v.begin(), v.end());
+  EXPECT_EQ(v, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SortSweep,
+                         ::testing::Values(0, 1, 2, 1000, 1 << 14, (1 << 16) + 7,
+                                           1 << 18));
+
+TEST(ParallelSort, CustomComparator) {
+  std::vector<int> v(100000);
+  Xoshiro256 rng(3);
+  for (auto& x : v) x = static_cast<int>(rng.next_below(1 << 20));
+  gee::par::parallel_sort(v.begin(), v.end(), std::greater<>{});
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end(), std::greater<>{}));
+}
+
+TEST(CountingSort, ProducesStableAscendingPermutation) {
+  constexpr std::size_t kN = 1 << 16;
+  constexpr std::size_t kBuckets = 97;
+  std::vector<std::uint32_t> keys(kN);
+  Xoshiro256 rng(21);
+  for (auto& k : keys) k = static_cast<std::uint32_t>(rng.next_below(kBuckets));
+
+  const auto perm =
+      gee::par::counting_sort_permutation(kN, kBuckets, [&](std::size_t i) {
+        return keys[i];
+      });
+  ASSERT_EQ(perm.size(), kN);
+
+  // Permutation property: every input index appears exactly once.
+  std::vector<char> seen(kN, 0);
+  for (auto idx : perm) {
+    ASSERT_LT(idx, kN);
+    ASSERT_EQ(seen[idx], 0);
+    seen[idx] = 1;
+  }
+  // Sortedness + stability: keys ascend, ties keep input order.
+  for (std::size_t j = 1; j < kN; ++j) {
+    ASSERT_LE(keys[perm[j - 1]], keys[perm[j]]);
+    if (keys[perm[j - 1]] == keys[perm[j]]) {
+      ASSERT_LT(perm[j - 1], perm[j]);
+    }
+  }
+}
+
+TEST(CountingSort, DeterministicAcrossThreadCounts) {
+  constexpr std::size_t kN = 1 << 16;
+  std::vector<std::uint32_t> keys(kN);
+  Xoshiro256 rng(33);
+  for (auto& k : keys) k = static_cast<std::uint32_t>(rng.next_below(64));
+  auto run = [&] {
+    return gee::par::counting_sort_permutation(
+        kN, 64, [&](std::size_t i) { return keys[i]; });
+  };
+  std::vector<std::uint64_t> ref;
+  {
+    ThreadScope scope(1);
+    ref = run();
+  }
+  for (int t : {2, 8}) {
+    ThreadScope scope(t);
+    ASSERT_EQ(run(), ref) << "threads=" << t;
+  }
+}
+
+TEST(CountingSort, TinyInput) {
+  const auto perm = gee::par::counting_sort_permutation(
+      3, 2, [](std::size_t i) { return i == 1 ? 0u : 1u; });
+  EXPECT_EQ(perm, (std::vector<std::uint64_t>{1, 0, 2}));
+}
+
+}  // namespace

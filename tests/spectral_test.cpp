@@ -1,0 +1,131 @@
+// Tests for the spectral module: Jacobi against hand-diagonalizable
+// matrices, subspace iteration against the dense oracle, and ASE block
+// recovery on SBM graphs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cluster/kmeans.hpp"
+#include "cluster/metrics.hpp"
+#include "gen/sbm.hpp"
+#include "graph/builder.hpp"
+#include "graph/transform.hpp"
+#include "spectral/eigen.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gee::spectral;
+using namespace gee::graph;
+
+TEST(Jacobi, DiagonalMatrixIsItsOwnDecomposition) {
+  const std::vector<double> m{3, 0, 0, 0, -5, 0, 0, 0, 1};
+  const auto pairs = jacobi_eigen(m, 3);
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_NEAR(pairs[0].value, -5.0, 1e-12);  // sorted by |value|
+  EXPECT_NEAR(pairs[1].value, 3.0, 1e-12);
+  EXPECT_NEAR(pairs[2].value, 1.0, 1e-12);
+}
+
+TEST(Jacobi, HandComputedTwoByTwo) {
+  // [[2,1],[1,2]]: eigenvalues 3 and 1, vectors (1,1)/sqrt2, (1,-1)/sqrt2.
+  const std::vector<double> m{2, 1, 1, 2};
+  const auto pairs = jacobi_eigen(m, 2);
+  EXPECT_NEAR(pairs[0].value, 3.0, 1e-12);
+  EXPECT_NEAR(pairs[1].value, 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(pairs[0].vector[0]), 1 / std::sqrt(2.0), 1e-10);
+  EXPECT_NEAR(std::abs(pairs[0].vector[1]), 1 / std::sqrt(2.0), 1e-10);
+}
+
+TEST(Jacobi, ReconstructsRandomSymmetricMatrix) {
+  constexpr std::size_t n = 20;
+  gee::util::Xoshiro256 rng(3);
+  std::vector<double> m(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      m[i * n + j] = m[j * n + i] = rng.next_normal();
+    }
+  }
+  const auto pairs = jacobi_eigen(m, n);
+  // Verify A v = lambda v for each pair.
+  for (const auto& p : pairs) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double av = 0;
+      for (std::size_t j = 0; j < n; ++j) av += m[i * n + j] * p.vector[j];
+      ASSERT_NEAR(av, p.value * p.vector[i], 1e-8);
+    }
+  }
+}
+
+TEST(Jacobi, RejectsBadSize) {
+  EXPECT_THROW(jacobi_eigen({1, 2, 3}, 2), std::invalid_argument);
+}
+
+Csr small_symmetric_graph(std::uint64_t seed) {
+  gee::util::Xoshiro256 rng(seed);
+  EdgeList el(60);
+  for (int e = 0; e < 300; ++e) {
+    const auto u = static_cast<VertexId>(rng.next_below(60));
+    const auto v = static_cast<VertexId>(rng.next_below(60));
+    if (u != v) el.add(u, v);
+  }
+  const Graph g = Graph::build(el, GraphKind::kUndirected);
+  return build_csr(gee::graph::symmetrize(el), 60);
+}
+
+TEST(Subspace, MatchesDenseOracleOnSmallGraph) {
+  const Csr csr = small_symmetric_graph(5);
+  const VertexId n = csr.num_vertices();
+  // Dense adjacency for the oracle.
+  std::vector<double> dense(static_cast<std::size_t>(n) * n, 0.0);
+  for (VertexId u = 0; u < n; ++u) {
+    for (const VertexId v : csr.neighbors(u)) {
+      dense[static_cast<std::size_t>(u) * n + v] += 1.0;
+    }
+  }
+  const auto oracle = jacobi_eigen(dense, n);
+  const auto got = topk_eigen(csr, 4);
+  ASSERT_EQ(got.size(), 4u);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NEAR(got[static_cast<std::size_t>(c)].value,
+                oracle[static_cast<std::size_t>(c)].value, 1e-5)
+        << "eigenvalue " << c;
+  }
+}
+
+TEST(Subspace, EigenvectorsSatisfyDefinition) {
+  const Csr csr = small_symmetric_graph(9);
+  const auto pairs = topk_eigen(csr, 3);
+  for (const auto& p : pairs) {
+    // ||A v - lambda v|| must be small relative to |lambda|.
+    double err = 0;
+    for (VertexId u = 0; u < csr.num_vertices(); ++u) {
+      double av = 0;
+      for (const VertexId v : csr.neighbors(u)) av += p.vector[v];
+      err += (av - p.value * p.vector[u]) * (av - p.value * p.vector[u]);
+    }
+    EXPECT_LT(std::sqrt(err), 1e-4 * std::max(1.0, std::abs(p.value)));
+  }
+}
+
+TEST(Subspace, InvalidK) {
+  const Csr csr = small_symmetric_graph(2);
+  EXPECT_THROW(topk_eigen(csr, 0), std::invalid_argument);
+  EXPECT_THROW(topk_eigen(csr, 100), std::invalid_argument);
+}
+
+TEST(Ase, RecoversSbmBlocks) {
+  // The spectral baseline the paper compares GEE against: ASE + k-means
+  // must recover planted SBM blocks.
+  const auto sbm_result =
+      gee::gen::sbm(gee::gen::SbmParams::balanced(400, 2, 0.20, 0.02), 11);
+  const Graph g = Graph::build(sbm_result.edges, GraphKind::kUndirected);
+  const auto z = adjacency_spectral_embedding(g.out(), 2);
+  const auto clusters = gee::cluster::kmeans(z, 400, 2, 2, {.seed = 3});
+  EXPECT_GT(gee::cluster::adjusted_rand_index(clusters.assignment,
+                                              sbm_result.labels),
+            0.9);
+}
+
+}  // namespace

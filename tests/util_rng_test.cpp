@@ -1,0 +1,154 @@
+// Tests for util/rng.hpp: determinism, stream independence, and the
+// statistical sanity of the uniform / bounded / normal samplers.
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace {
+
+using gee::util::SplitMix64;
+using gee::util::Xoshiro256;
+using gee::util::hash_combine;
+
+TEST(SplitMix64, DeterministicForSameSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, KnownVector) {
+  // Reference values from the public-domain splitmix64.c (Vigna), seed 1234567.
+  SplitMix64 g(1234567);
+  EXPECT_EQ(g.next(), 6457827717110365317ULL);
+  EXPECT_EQ(g.next(), 3203168211198807973ULL);
+  EXPECT_EQ(g.next(), 9817491932198370423ULL);
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(HashCombine, Deterministic) {
+  EXPECT_EQ(hash_combine(77, 88), hash_combine(77, 88));
+}
+
+TEST(Xoshiro256, DeterministicForSameSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, StreamsAreIndependent) {
+  Xoshiro256 a(7, 0), b(7, 1);
+  int equal = 0;
+  for (int i = 0; i < 256; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256>);
+  SUCCEED();
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+  Xoshiro256 g(99);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) ASSERT_LT(g.next_below(bound), bound);
+  }
+}
+
+TEST(Xoshiro256, NextBelowZeroBoundIsZero) {
+  Xoshiro256 g(5);
+  EXPECT_EQ(g.next_below(0), 0u);
+}
+
+TEST(Xoshiro256, NextBelowCoversAllResidues) {
+  Xoshiro256 g(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(g.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Xoshiro256, NextBelowIsApproximatelyUniform) {
+  Xoshiro256 g(123);
+  constexpr int kBuckets = 16;
+  constexpr int kSamples = 160000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kSamples; ++i) counts[g.next_below(kBuckets)]++;
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  // Chi-squared with 15 dof; 99.9% critical value ~ 37.7.
+  double chi2 = 0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST(Xoshiro256, NextInRangeInclusiveBounds) {
+  Xoshiro256 g(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = g.next_in_range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 g(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = g.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256, NextDoubleMeanNearHalf) {
+  Xoshiro256 g(19);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += g.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, NormalMomentsMatch) {
+  Xoshiro256 g(23);
+  constexpr int kN = 100000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = g.next_normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Xoshiro256, BernoulliFrequency) {
+  Xoshiro256 g(29);
+  constexpr int kN = 100000;
+  int hits = 0;
+  for (int i = 0; i < kN; ++i) hits += g.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+// Tests for util/stats.hpp and util/timer.hpp.
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace {
+
+using gee::util::RunningStats;
+using gee::util::Summary;
+using gee::util::Timer;
+using gee::util::percentile_sorted;
+using gee::util::summarize;
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.push(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  for (double x : xs) s.push(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, n-1 = 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats whole, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10 + i * 0.1;
+    whole.push(x);
+    (i < 37 ? a : b).push(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-10);
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.push(1.0);
+  a.push(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentile, EdgeCases) {
+  const std::vector<double> one{7.0};
+  EXPECT_EQ(percentile_sorted(one, 0.5), 7.0);
+  EXPECT_EQ(percentile_sorted({}, 0.5), 0.0);
+}
+
+TEST(Percentile, LinearInterpolation) {
+  const std::vector<double> xs{0, 10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.25), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.125), 5.0);  // interpolated
+}
+
+TEST(Percentile, ClampsOutOfRangeQ) {
+  const std::vector<double> xs{1, 2, 3};
+  EXPECT_EQ(percentile_sorted(xs, -1.0), 1.0);
+  EXPECT_EQ(percentile_sorted(xs, 2.0), 3.0);
+}
+
+TEST(Summarize, UnsortedInput) {
+  const std::vector<double> xs{9, 1, 5, 3, 7};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+}
+
+TEST(Summarize, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, ToStringContainsFields) {
+  const Summary s = summarize(std::vector<double>{1, 2, 3});
+  const std::string str = s.to_string();
+  EXPECT_NE(str.find("n=3"), std::string::npos);
+  EXPECT_NE(str.find("med="), std::string::npos);
+}
+
+TEST(Timer, MeasuresSleep) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 2.0);  // generous upper bound for loaded CI machines
+}
+
+TEST(Timer, RestartResets) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double first = t.restart();
+  EXPECT_GT(first, 0.0);
+  EXPECT_LT(t.seconds(), first + 0.5);
+}
+
+TEST(Timer, FormatSeconds) {
+  EXPECT_EQ(gee::util::format_seconds(1.5), "1.500 s");
+  EXPECT_EQ(gee::util::format_seconds(0.0123), "12.300 ms");
+  EXPECT_EQ(gee::util::format_seconds(12.3e-6), "12.3 us");
+  EXPECT_EQ(gee::util::format_seconds(500e-9), "500 ns");
+}
+
+TEST(TimeRepeats, RunsExactly) {
+  int calls = 0;
+  auto times = gee::util::time_repeats(5, [&] { ++calls; });
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(times.size(), 5u);
+  for (double t : times) EXPECT_GE(t, 0.0);
+}
+
+}  // namespace
