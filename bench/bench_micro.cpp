@@ -15,6 +15,7 @@
 #include "graph/csr.hpp"
 #include "parallel/atomics.hpp"
 #include "parallel/parallel_for.hpp"
+#include "partition/tile_accumulator.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -127,6 +128,12 @@ struct PassFixture {
 
 void BM_EdgePass(benchmark::State& state, Backend backend) {
   const auto& f = PassFixture::instance();
+  if (backend == Backend::kReplicated &&
+      gee::partition::replicated_scratch_bytes(f.graph.num_vertices(), 50) >
+          gee::partition::kReplicatedScratchBudget) {
+    state.SkipWithError("replicated tile scratch exceeds budget");
+    return;
+  }
   for (auto _ : state) {
     auto result = gee::core::embed(f.graph, f.labels, {.backend = backend});
     benchmark::DoNotOptimize(result.z.data());
@@ -142,6 +149,10 @@ BENCHMARK_CAPTURE(BM_EdgePass, ligra_parallel, Backend::kLigraParallel)
 BENCHMARK_CAPTURE(BM_EdgePass, parallel_pull, Backend::kParallelPull)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_EdgePass, flat_parallel, Backend::kFlatParallel)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EdgePass, partitioned, Backend::kPartitioned)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EdgePass, replicated, Backend::kReplicated)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

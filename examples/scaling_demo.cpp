@@ -6,12 +6,14 @@
 //   ./examples/scaling_demo --scale 20 --edge-factor 16
 #include <cstdio>
 #include <iostream>
+#include <optional>
 
 #include "gee/gee.hpp"
 #include "gen/labels.hpp"
 #include "gen/rmat.hpp"
 #include "graph/validation.hpp"
 #include "parallel/parallel_for.hpp"
+#include "partition/tile_accumulator.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -23,8 +25,22 @@ int main(int argc, char** argv) {
   args.add_option("edge-factor", "edges per vertex", "16");
   args.add_option("classes", "number of classes K", "50");
   args.add_option("seed", "random seed", "1");
+  args.add_option("backend",
+                  "sweep only this backend (one of: " +
+                      gee::util::backend_choices() + ")");
   args.add_flag("skip-interpreted", "skip the slow interpreted baseline");
   if (!args.parse(argc, argv)) return 1;
+
+  std::optional<gee::core::Backend> only;
+  if (args.has("backend")) {
+    only = gee::util::parse_backend(args.get("backend"));
+    if (!only) {
+      std::fprintf(stderr, "unknown backend '%s' (choices: %s)\n",
+                   args.get("backend").c_str(),
+                   gee::util::backend_choices().c_str());
+      return 1;
+    }
+  }
 
   const int scale = static_cast<int>(args.get_int("scale"));
   const auto ef = static_cast<gee::graph::EdgeId>(args.get_int("edge-factor"));
@@ -45,12 +61,23 @@ int main(int argc, char** argv) {
   gee::util::TextTable table("backends, " + std::to_string(k) + " classes");
   table.set_header({"backend", "edge pass", "total", "vs compiled-serial"});
   double compiled_serial_time = 0;
-  for (const Backend backend :
-       {Backend::kInterpreted, Backend::kCompiledSerial, Backend::kLigraSerial,
-        Backend::kLigraParallel, Backend::kParallelUnsafe,
-        Backend::kParallelPull, Backend::kFlatParallel}) {
+  for (const Backend backend : gee::core::kAllBackends) {
+    if (only && backend != *only && backend != Backend::kCompiledSerial) {
+      continue;  // keep the serial baseline for the speedup column
+    }
     if (backend == Backend::kInterpreted && args.get_flag("skip-interpreted")) {
       continue;
+    }
+    if (backend == Backend::kReplicated) {
+      // One private n x K tile per thread: skip rather than OOM a
+      // many-core machine at large --scale.
+      const auto scratch =
+          gee::partition::replicated_scratch_bytes(g.num_vertices(), k);
+      if (scratch > gee::partition::kReplicatedScratchBudget) {
+        std::printf("replicated: skipped (%.1f GiB of tile scratch needed)\n",
+                    static_cast<double>(scratch) / (1 << 30));
+        continue;
+      }
     }
     const auto result = gee::core::embed(g, labels, {.backend = backend});
     if (backend == Backend::kCompiledSerial) {

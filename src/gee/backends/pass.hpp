@@ -21,6 +21,7 @@
 #include "gee/options.hpp"
 #include "graph/csr.hpp"
 #include "graph/edge_list.hpp"
+#include "partition/plan.hpp"
 
 namespace gee::core::detail {
 
@@ -65,6 +66,20 @@ void pass_flat_csr(const graph::Csr& arcs, ArcSemantics semantics,
 /// (Backend::kFlatParallel, EdgeList input).
 void pass_flat_edges(const graph::EdgeList& edges, Atomicity atomicity,
                      const PassContext& ctx);
+
+/// Owned-row execution of a prebuilt edge partition plan
+/// (Backend::kPartitioned). Each block's entries update only rows the
+/// block owns: no atomics, no races, bitwise equal to the serial pass.
+void pass_partitioned(const partition::EdgePartitionPlan& plan,
+                      const PassContext& ctx);
+
+/// Thread-replicated accumulation (Backend::kReplicated): per-worker
+/// private Z tiles over a slice of the arcs, then a parallel tree
+/// reduction into ctx.z.
+void pass_replicated_csr(const graph::Csr& arcs, ArcSemantics semantics,
+                         const PassContext& ctx);
+void pass_replicated_edges(const graph::EdgeList& edges,
+                           const PassContext& ctx);
 
 /// Boxed-value bytecode interpreter (Backend::kInterpreted). `dense_w` is
 /// the n x k dense projection matrix (Algorithm 1 reads W(v, Y(v)) by

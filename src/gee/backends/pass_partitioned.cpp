@@ -1,0 +1,44 @@
+// Backend::kPartitioned -- ownership instead of atomics.
+//
+// The partitioner (src/partition/) bucketed every update of Algorithm 1 by
+// the Z row it writes, into P blocks of contiguous rows. Workers take
+// blocks; a worker applies its block's updates with plain adds because no
+// other worker may touch those rows (the ownership invariant, DESIGN.md
+// section 5). Contrast with kLigraParallel, where a source-partitioned
+// traversal sends dest-side writes into other workers' rows -- exactly the
+// race of the paper's Figure 1 that its atomics pay for.
+//
+// Locality bonus: a block's writes span only rows [row_lo, row_hi) of Z --
+// K * (row_hi - row_lo) doubles, which for moderate P fits in LLC even when
+// Z is gigabytes. The atomic backends scatter writes across all of Z.
+#include "gee/backends/pass.hpp"
+#include "parallel/parallel_for.hpp"
+#include "partition/tile_pool.hpp"
+
+namespace gee::core::detail {
+
+static_assert(std::is_same_v<Real, partition::Real>,
+              "TilePool/plan scratch precision must match core::Real");
+
+void pass_partitioned(const partition::EdgePartitionPlan& plan,
+                      const PassContext& ctx) {
+  // Dynamic one-block-at-a-time scheduling: blocks are entry-balanced by
+  // construction, but a row heavier than total/P makes its block oversized
+  // (row ownership cannot split a hub), so let fast workers steal ahead.
+  gee::par::parallel_for_dynamic(0, plan.num_blocks, [&](int p) {
+    const auto block = plan.block(p);
+    const std::size_t count = block.rows.size();
+    for (std::size_t i = 0; i < count; ++i) {
+      const VertexId other = block.others[i];
+      const std::int32_t y = ctx.labels[other];
+      if (y < 0) continue;
+      const Real w = block.weights.empty()
+                         ? Real{1}
+                         : static_cast<Real>(block.weights[i]);
+      ctx.z[static_cast<std::size_t>(block.rows[i]) * ctx.k + y] +=
+          ctx.vertex_weight[other] * w;
+    }
+  }, /*chunk=*/1);
+}
+
+}  // namespace gee::core::detail

@@ -1,0 +1,95 @@
+// Backend::kReplicated -- the memory-for-contention trade.
+//
+// Every worker accumulates Algorithm 1's updates into a PRIVATE full n x K
+// tile with plain adds (no atomics, no races by construction), then the
+// tiles are combined into Z by a parallel tree reduction (TileAccumulator,
+// src/partition/). Where kPartitioned removes contention by splitting the
+// row space, kReplicated removes it by replicating the row space: workers
+// keep the cheap source-partitioned arc traversal (contiguous CSR reads)
+// and pay T * n * K doubles of scratch instead -- leased from the TilePool
+// so a stream of embed() calls allocates the scratch once.
+//
+// Deterministic at a fixed thread count: worker t owns a fixed slice of
+// the arcs, and the reduction tree's shape depends only on the tile count.
+#include <algorithm>
+#include <vector>
+
+#include "gee/backends/pass.hpp"
+#include "parallel/parallel_for.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/tile_accumulator.hpp"
+
+namespace gee::core::detail {
+
+void pass_replicated_csr(const graph::Csr& arcs, ArcSemantics semantics,
+                         const PassContext& ctx) {
+  const VertexId n = arcs.num_vertices();
+  const std::size_t cells =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(ctx.k);
+  const int tiles = std::max(1, gee::par::num_threads());
+  // Arc-balanced slices: worker t owns source rows [slices[t],
+  // slices[t+1]); the CSR offset array is the exact out-degree prefix sum.
+  const auto slices = partition::split_by_weight(arcs.offsets(), tiles);
+
+  partition::TileAccumulator acc(cells, tiles);
+  acc.zero_fill();
+  gee::par::parallel_team([&](int tid, int team) {
+    for (int t = tid; t < tiles; t += team) {
+      Real* tile = acc.tile(t);
+      const PassContext local{ctx.labels, ctx.vertex_weight, tile, ctx.k};
+      for (VertexId u = slices[t]; u < slices[t + 1]; ++u) {
+        const auto neigh = arcs.neighbors(u);
+        const auto weights = arcs.edge_weights(u);
+        for (std::size_t j = 0; j < neigh.size(); ++j) {
+          const VertexId v = neigh[j];
+          const graph::Weight w = weights.empty() ? graph::Weight{1}
+                                                  : weights[j];
+          update_dest_side(local, u, v, w,
+                           [](Real& cell, Real delta) { cell += delta; });
+          if (semantics == ArcSemantics::kBoth) {
+            update_src_side(local, u, v, w,
+                            [](Real& cell, Real delta) { cell += delta; });
+          }
+        }
+      }
+    }
+  });
+  acc.reduce_into(ctx.z);
+}
+
+void pass_replicated_edges(const graph::EdgeList& edges,
+                           const PassContext& ctx) {
+  const std::size_t cells =
+      static_cast<std::size_t>(edges.num_vertices()) *
+      static_cast<std::size_t>(ctx.k);
+  const EdgeId m = edges.num_edges();
+  const int tiles = std::max(1, gee::par::num_threads());
+  const auto srcs = edges.srcs();
+  const auto dsts = edges.dsts();
+  const auto weights = edges.weights();
+
+  partition::TileAccumulator acc(cells, tiles);
+  acc.zero_fill();
+  gee::par::parallel_team([&](int tid, int team) {
+    for (int t = tid; t < tiles; t += team) {
+      Real* tile = acc.tile(t);
+      const PassContext local{ctx.labels, ctx.vertex_weight, tile, ctx.k};
+      const auto [lo, hi] = gee::par::block_range(
+          static_cast<std::size_t>(m), static_cast<std::size_t>(tiles),
+          static_cast<std::size_t>(t));
+      for (std::size_t e = lo; e < hi; ++e) {
+        const VertexId u = srcs[e];
+        const VertexId v = dsts[e];
+        const graph::Weight w = weights.empty() ? graph::Weight{1}
+                                                : weights[e];
+        update_src_side(local, u, v, w,
+                        [](Real& cell, Real delta) { cell += delta; });
+        update_dest_side(local, u, v, w,
+                         [](Real& cell, Real delta) { cell += delta; });
+      }
+    }
+  });
+  acc.reduce_into(ctx.z);
+}
+
+}  // namespace gee::core::detail

@@ -5,6 +5,7 @@
 #include "gee/backends/pass.hpp"
 #include "gee/preprocess.hpp"
 #include "parallel/parallel_for.hpp"
+#include "partition/partitioner.hpp"
 #include "util/timer.hpp"
 
 namespace gee::core {
@@ -18,6 +19,8 @@ std::string to_string(Backend backend) {
     case Backend::kParallelUnsafe: return "parallel-unsafe";
     case Backend::kParallelPull: return "parallel-pull";
     case Backend::kFlatParallel: return "flat-parallel";
+    case Backend::kPartitioned: return "partitioned";
+    case Backend::kReplicated: return "replicated";
   }
   return "?";
 }
@@ -124,6 +127,28 @@ Result embed(const graph::Graph& g, std::span<const std::int32_t> labels,
     case Backend::kFlatParallel:
       detail::pass_flat_csr(graph->out(), semantics, Atomicity::kAtomic, ctx);
       break;
+    case Backend::kPartitioned: {
+      // Cache on the caller's graph even when partitioning the local
+      // Laplacian-reweighted copy: the transform is deterministic in
+      // (graph, laplacian, diag_augment), so the variant bits identify the
+      // reweighted arc content and repeated calls skip re-partitioning
+      // (the reweighting itself is still paid per call).
+      const std::uint32_t variant =
+          options.laplacian ? (1u | (options.diag_augment ? 2u : 0u)) : 0u;
+      const auto plan = partition::plan_for(
+          g, graph->out(),
+          semantics == ArcSemantics::kBoth ? partition::UpdateSides::kBoth
+                                           : partition::UpdateSides::kDestOnly,
+          partition::resolve_num_blocks(options.partition_blocks), variant);
+      // First call pays partitioning (reported like embed_edges' CSR
+      // build); later calls on the same graph hit the AuxCache.
+      p.timings.graph_build = phase.restart();
+      detail::pass_partitioned(*plan, ctx);
+      break;
+    }
+    case Backend::kReplicated:
+      detail::pass_replicated_csr(graph->out(), semantics, ctx);
+      break;
   }
   p.timings.edge_pass = phase.restart();
 
@@ -175,6 +200,18 @@ Result embed_edges(const graph::EdgeList& edges,
       break;
     case Backend::kFlatParallel:
       detail::pass_flat_edges(*list, Atomicity::kAtomic, ctx);
+      p.timings.edge_pass = phase.seconds();
+      break;
+    case Backend::kPartitioned: {
+      const auto plan = partition::build_plan(
+          *list, partition::resolve_num_blocks(options.partition_blocks));
+      p.timings.graph_build = phase.restart();
+      detail::pass_partitioned(plan, ctx);
+      p.timings.edge_pass = phase.seconds();
+      break;
+    }
+    case Backend::kReplicated:
+      detail::pass_replicated_edges(*list, ctx);
       p.timings.edge_pass = phase.seconds();
       break;
     case Backend::kLigraSerial:

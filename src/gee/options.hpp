@@ -1,7 +1,9 @@
 // Public option types for One-Hot Graph Encoder Embedding.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <string>
 
 namespace gee::core {
@@ -34,7 +36,32 @@ enum class Backend : std::uint8_t {
   /// Plain OpenMP parallel-for over the raw edge array with atomics; no
   /// graph engine. Baseline for the engine-ablation bench (A3).
   kFlatParallel,
+  /// Edge-partition execution (src/partition/): updates bucketed into P
+  /// destination-range blocks, each worker exclusively owning its rows of
+  /// Z. Zero atomics; bitwise equal to kCompiledSerial for any block count
+  /// (stable bucketing preserves per-cell accumulation order -- DESIGN.md
+  /// section 5). The plan is cached on the Graph across embed() calls.
+  kPartitioned,
+  /// Thread-replicated Z: each worker accumulates a private n x K tile
+  /// (leased from the TilePool), tiles reduced tree-wise afterwards. The
+  /// memory-for-contention trade; deterministic at a fixed thread count.
+  kReplicated,
 };
+
+/// Every Backend value, in declaration order (CLI parsers and backend
+/// sweeps iterate this instead of hand-maintaining their own lists).
+inline constexpr Backend kAllBackends[] = {
+    Backend::kInterpreted,    Backend::kCompiledSerial,
+    Backend::kLigraSerial,    Backend::kLigraParallel,
+    Backend::kParallelUnsafe, Backend::kParallelPull,
+    Backend::kFlatParallel,   Backend::kPartitioned,
+    Backend::kReplicated,
+};
+// When adding a Backend: append it to kAllBackends AND update the last
+// enumerator named here; the assert catches insertions that shift values.
+static_assert(static_cast<std::size_t>(Backend::kReplicated) + 1 ==
+                  std::size(kAllBackends),
+              "kAllBackends is out of sync with the Backend enum");
 
 [[nodiscard]] std::string to_string(Backend backend);
 
@@ -63,6 +90,11 @@ struct Options {
   /// Thread count for parallel backends; 0 = current OpenMP setting.
   /// Serial backends ignore this.
   int num_threads = 0;
+
+  /// Block count P for Backend::kPartitioned; 0 = one block per thread.
+  /// The embedding is identical for every P (see Backend::kPartitioned);
+  /// P only shapes load balance and the per-block working set.
+  int partition_blocks = 0;
 };
 
 /// Wall-clock breakdown of an embed() call (seconds).
@@ -70,7 +102,9 @@ struct Timings {
   double projection = 0;   ///< W construction (Algorithm 2 lines 2-6)
   double edge_pass = 0;    ///< the O(s) loop / edgeMap (lines 7 / line 7)
   double postprocess = 0;  ///< diag augmentation + row normalization
-  double graph_build = 0;  ///< CSR construction when embed_edges() needs one
+  double graph_build = 0;  ///< derived-structure construction: the CSR when
+                           ///< embed_edges() needs one, the partition plan
+                           ///< for kPartitioned (0 on an AuxCache hit)
   double total = 0;
 };
 

@@ -14,6 +14,7 @@
 
 #include "graph/edge_list.hpp"
 #include "graph/types.hpp"
+#include "util/aux_cache.hpp"
 
 namespace gee::graph {
 
@@ -130,9 +131,15 @@ class Graph {
     return *in_;
   }
 
+  /// Cache for structures derived from this (immutable) graph, e.g. the
+  /// edge partition plan. Shared by copies, so repeated embed() calls on
+  /// the same graph amortize derived-structure construction.
+  [[nodiscard]] util::AuxCache& aux() const noexcept { return *aux_; }
+
  private:
   std::shared_ptr<const Csr> out_;
   std::shared_ptr<const Csr> in_;  // == out_ for undirected graphs
+  std::shared_ptr<util::AuxCache> aux_ = std::make_shared<util::AuxCache>();
   bool directed_ = false;
 };
 

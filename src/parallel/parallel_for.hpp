@@ -78,7 +78,8 @@ void parallel_for_dynamic(Index begin, Index end, Fn&& f,
     for (Index i = begin; i < end; ++i) f(i);
     return;
   }
-#pragma omp parallel for schedule(dynamic, 64)
+  const int omp_chunk = static_cast<int>(chunk);
+#pragma omp parallel for schedule(dynamic, omp_chunk)
   for (Index i = begin; i < end; ++i) f(i);
 }
 

@@ -1,0 +1,97 @@
+// EdgePartitionPlan: the artifact of the edge-partition execution subsystem.
+//
+// The paper buys edge parallelism with lock-free atomics and pays for them
+// on hub rows (Figure 1's write race). This subsystem takes the classic
+// alternative -- ownership: split the embedding's row space [0, n) into P
+// contiguous blocks and bucket every update by the row it writes, so each
+// worker applies only updates landing in rows it exclusively owns. The
+// edge pass then needs no atomics at all and, because the bucketing is a
+// stable sort by block, every Z cell accumulates its contributions in the
+// original arc order -- making the partitioned backend bitwise equal to
+// the serial reference for any block count (see DESIGN.md section 5).
+//
+// An "entry" is one side of Algorithm 1's update pair normalized to
+// (row, other, weight): row r receives W(other, Y(other)) * weight into
+// column Y(other). kDestOnly storage yields one entry per stored arc;
+// kBoth yields two. Entries are stored flat, grouped by block, in stable
+// (original arc) order within each block.
+//
+// Memory: 8 bytes per entry unweighted (12 weighted) -- comparable to a
+// transposed CSR; the price of contention-free ownership.
+#pragma once
+
+#include <cassert>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/buffer.hpp"
+
+namespace gee::partition {
+
+using graph::EdgeId;
+using graph::VertexId;
+using graph::Weight;
+
+/// Which of Algorithm 1's two update lines each stored arc fires; mirrors
+/// gee::core::detail::ArcSemantics without depending on the GEE layer.
+enum class UpdateSides : std::uint8_t {
+  kDestOnly,  ///< symmetric storage: one (dest-side) entry per arc
+  kBoth,      ///< directed storage / raw edge lists: two entries per arc
+};
+
+struct EdgePartitionPlan {
+  int num_blocks = 0;
+
+  /// Row-space boundaries: block p exclusively owns rows
+  /// [row_starts[p], row_starts[p+1]). num_blocks + 1 values; degree-
+  /// weighted so every block receives a near-equal entry count.
+  std::vector<VertexId> row_starts;
+
+  /// Flat-array boundaries: block p's entries live at indices
+  /// [entry_offsets[p], entry_offsets[p+1]). num_blocks + 1 values.
+  std::vector<EdgeId> entry_offsets;
+
+  util::UninitBuffer<VertexId> rows;    ///< owner row of each entry
+  util::UninitBuffer<VertexId> others;  ///< contributing endpoint
+  util::UninitBuffer<Weight> weights;   ///< empty == all unit weights
+
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return row_starts.empty() ? 0 : row_starts.back();
+  }
+  [[nodiscard]] EdgeId num_entries() const noexcept {
+    return entry_offsets.empty() ? 0 : entry_offsets.back();
+  }
+  [[nodiscard]] bool weighted() const noexcept { return !weights.empty(); }
+
+  /// One worker's exclusive slice: the rows it owns and the entries that
+  /// write them.
+  struct Block {
+    VertexId row_lo = 0, row_hi = 0;
+    std::span<const VertexId> rows;
+    std::span<const VertexId> others;
+    std::span<const Weight> weights;  ///< empty == all unit weights
+  };
+
+  [[nodiscard]] Block block(int p) const noexcept {
+    assert(p >= 0 && p < num_blocks);
+    const auto lo = static_cast<std::size_t>(entry_offsets[p]);
+    const auto count =
+        static_cast<std::size_t>(entry_offsets[p + 1] - entry_offsets[p]);
+    Block b;
+    b.row_lo = row_starts[p];
+    b.row_hi = row_starts[p + 1];
+    b.rows = {rows.data() + lo, count};
+    b.others = {others.data() + lo, count};
+    if (!weights.empty()) b.weights = {weights.data() + lo, count};
+    return b;
+  }
+
+  /// Bytes held by the flat entry arrays (diagnostics / bench reporting).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return rows.size() * sizeof(VertexId) + others.size() * sizeof(VertexId) +
+           weights.size() * sizeof(Weight);
+  }
+};
+
+}  // namespace gee::partition

@@ -1,0 +1,60 @@
+#include "partition/tile_accumulator.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "parallel/parallel_for.hpp"
+
+namespace gee::partition {
+
+std::size_t replicated_scratch_bytes(std::size_t n, int k) {
+  const auto threads =
+      static_cast<std::size_t>(std::max(1, gee::par::num_threads()));
+  return threads * n * static_cast<std::size_t>(k) * sizeof(Real);
+}
+
+TileAccumulator::TileAccumulator(std::size_t cells, int num_tiles)
+    : cells_(cells) {
+  tiles_.reserve(static_cast<std::size_t>(num_tiles));
+  for (int t = 0; t < num_tiles; ++t) {
+    tiles_.push_back(TilePool::instance().acquire(cells));
+  }
+}
+
+TileAccumulator::~TileAccumulator() {
+  for (auto& tile : tiles_) {
+    TilePool::instance().release(std::move(tile));
+  }
+}
+
+void TileAccumulator::zero_fill() {
+  const int nt = num_tiles();
+  gee::par::parallel_team([&](int tid, int team) {
+    for (int t = tid; t < nt; t += team) {
+      std::memset(tiles_[t].data(), 0, cells_ * sizeof(Real));
+    }
+  });
+}
+
+namespace {
+
+/// Pairwise (tree) combine of tiles[lo..hi) at cell i. Fixed shape for a
+/// fixed tile count -- the reduction order never depends on scheduling.
+Real tree_sum(const std::vector<util::UninitBuffer<Real>>& tiles,
+              std::size_t i, int lo, int hi) {
+  if (hi - lo == 1) return tiles[lo][i];
+  const int mid = lo + (hi - lo) / 2;
+  return tree_sum(tiles, i, lo, mid) + tree_sum(tiles, i, mid, hi);
+}
+
+}  // namespace
+
+void TileAccumulator::reduce_into(Real* out) const {
+  const int nt = num_tiles();
+  if (nt == 0) return;
+  gee::par::parallel_for(std::size_t{0}, cells_, [&](std::size_t i) {
+    out[i] += tree_sum(tiles_, i, 0, nt);
+  }, /*grain=*/1 << 14);
+}
+
+}  // namespace gee::partition

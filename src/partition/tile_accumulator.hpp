@@ -1,0 +1,68 @@
+// TileAccumulator: per-thread scratch tiles + the parallel tree reducer.
+//
+// The replicated execution strategy trades memory for contention: every
+// worker accumulates Algorithm 1's updates into a private copy of (a slice
+// of) Z with plain adds, and the copies are combined afterwards. This class
+// owns that machinery: it leases one tile per worker from the TilePool,
+// zero-fills each tile on the thread that will write it (first-touch NUMA
+// placement), and reduces tile t=0..T-1 into the output with a pairwise
+// tree per cell, parallel across cells via par::parallel_for.
+//
+// Determinism: the tree shape depends only on the tile count, and each tile
+// is filled by one worker from a fixed slice of the input, so the result is
+// identical across runs at a fixed worker count (unlike atomics, whose
+// commit order varies).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "partition/tile_pool.hpp"
+#include "util/buffer.hpp"
+
+namespace gee::partition {
+
+/// Live scratch footprint of a replicated pass over n rows x k classes at
+/// the current OpenMP thread count (one private tile per thread).
+[[nodiscard]] std::size_t replicated_scratch_bytes(std::size_t n, int k);
+
+/// Benches and demos skip Backend::kReplicated when
+/// replicated_scratch_bytes exceeds this, rather than OOM a many-core
+/// machine. One constant so the policy cannot drift between drivers.
+inline constexpr std::size_t kReplicatedScratchBudget = std::size_t{4} << 30;
+
+class TileAccumulator {
+ public:
+  /// Lease `num_tiles` tiles of `cells` doubles each. Contents are
+  /// undefined until zero_fill().
+  TileAccumulator(std::size_t cells, int num_tiles);
+
+  /// Tiles return to the TilePool for the next call.
+  ~TileAccumulator();
+
+  TileAccumulator(const TileAccumulator&) = delete;
+  TileAccumulator& operator=(const TileAccumulator&) = delete;
+
+  [[nodiscard]] int num_tiles() const noexcept {
+    return static_cast<int>(tiles_.size());
+  }
+  [[nodiscard]] std::size_t cells() const noexcept { return cells_; }
+
+  [[nodiscard]] Real* tile(int t) noexcept { return tiles_[t].data(); }
+  [[nodiscard]] const Real* tile(int t) const noexcept {
+    return tiles_[t].data();
+  }
+
+  /// Zero every tile, each on a distinct team thread (first-touch: tile t's
+  /// pages land on the NUMA node of the worker that will fill tile t).
+  void zero_fill();
+
+  /// out[i] += tree-sum over tiles of tile[t][i], parallel across cells.
+  void reduce_into(Real* out) const;
+
+ private:
+  std::size_t cells_ = 0;
+  std::vector<util::UninitBuffer<Real>> tiles_;
+};
+
+}  // namespace gee::partition

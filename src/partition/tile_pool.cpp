@@ -1,0 +1,79 @@
+#include "partition/tile_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/env.hpp"
+
+namespace gee::partition {
+
+TilePool& TilePool::instance() {
+  static TilePool pool;
+  return pool;
+}
+
+std::size_t TilePool::max_pooled_bytes() {
+  static const std::size_t budget = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, gee::util::env_or("GEE_TILE_POOL_BYTES",
+                                                  std::int64_t{4} << 30)));
+  return budget;
+}
+
+util::UninitBuffer<Real> TilePool::acquire(std::size_t size) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t best = free_.size();
+    for (std::size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i].size() < size) continue;
+      if (best == free_.size() || free_[i].size() < free_[best].size()) {
+        best = i;
+      }
+    }
+    if (best != free_.size()) {
+      util::UninitBuffer<Real> buffer = std::move(free_[best]);
+      free_[best] = std::move(free_.back());
+      free_.pop_back();
+      return buffer;
+    }
+  }
+  return util::UninitBuffer<Real>(size);
+}
+
+void TilePool::release(util::UninitBuffer<Real> buffer) {
+  if (buffer.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(std::move(buffer));
+  // Enforce both caps, evicting smallest-first: large tiles are the
+  // expensive ones to re-fault, so they are the last to go (a single
+  // over-budget tile is still evicted once it is the smallest left).
+  std::size_t bytes = 0;
+  for (const auto& b : free_) bytes += b.size() * sizeof(Real);
+  while (!free_.empty() &&
+         (free_.size() > max_pooled() || bytes > max_pooled_bytes())) {
+    const auto smallest = std::min_element(
+        free_.begin(), free_.end(),
+        [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    bytes -= smallest->size() * sizeof(Real);
+    *smallest = std::move(free_.back());
+    free_.pop_back();
+  }
+}
+
+void TilePool::trim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.clear();
+}
+
+std::size_t TilePool::pooled_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return free_.size();
+}
+
+std::size_t TilePool::pooled_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& buffer : free_) total += buffer.size() * sizeof(Real);
+  return total;
+}
+
+}  // namespace gee::partition

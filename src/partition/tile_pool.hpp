@@ -1,0 +1,61 @@
+// TilePool: process-wide recycling of embedding-sized scratch tiles.
+//
+// The replicated backend needs one n x K double tile per thread, every
+// call. At scale that is gigabytes of allocation whose first-touch page
+// faults would dominate the edge pass it exists to speed up; a serving
+// process embedding a stream of graphs would pay it per request. The pool
+// keeps released tiles (capped) and hands back the smallest one that fits,
+// so steady-state calls allocate nothing.
+//
+// NUMA note: a recycled tile's pages stay where its previous owner
+// first-touched them. TileAccumulator re-zeroes each tile on the thread
+// that will use it, so with a stable thread->CPU binding pages migrate to
+// (or already sit on) the right node after the first call.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "util/buffer.hpp"
+
+namespace gee::partition {
+
+/// Accumulation precision of the scratch tiles; must match gee::core::Real
+/// (static_asserted at the point of use -- this layer sits below gee/).
+using Real = double;
+
+class TilePool {
+ public:
+  /// The process-wide pool all backends share.
+  static TilePool& instance();
+
+  /// A buffer with capacity >= `size` (contents undefined -- callers zero
+  /// what they use). Reuses the smallest pooled buffer that fits, else
+  /// allocates exactly `size`.
+  [[nodiscard]] util::UninitBuffer<Real> acquire(std::size_t size);
+
+  /// Return a buffer to the pool. Empty buffers are dropped. The pool then
+  /// evicts smallest-first until both caps hold: max_pooled() buffers and
+  /// max_pooled_bytes() total -- without the byte cap, one many-thread
+  /// replicated run on a big graph would pin tens of GB for the process
+  /// lifetime.
+  void release(util::UninitBuffer<Real> buffer);
+
+  /// Free every pooled buffer (tests / explicit memory pressure).
+  void trim();
+
+  [[nodiscard]] std::size_t pooled_count() const;
+  [[nodiscard]] std::size_t pooled_bytes() const;
+  [[nodiscard]] static constexpr std::size_t max_pooled() { return 64; }
+  /// Byte budget for retained tiles: GEE_TILE_POOL_BYTES env var, default
+  /// 4 GiB (read once). Serving processes that repeatedly embed huge
+  /// graphs should raise it to T * n * K * 8 to keep full reuse.
+  [[nodiscard]] static std::size_t max_pooled_bytes();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<util::UninitBuffer<Real>> free_;  // unordered
+};
+
+}  // namespace gee::partition

@@ -6,6 +6,22 @@
 
 namespace gee::util {
 
+std::optional<gee::core::Backend> parse_backend(const std::string& name) {
+  for (const gee::core::Backend backend : gee::core::kAllBackends) {
+    if (gee::core::to_string(backend) == name) return backend;
+  }
+  return std::nullopt;
+}
+
+std::string backend_choices() {
+  std::string choices;
+  for (const gee::core::Backend backend : gee::core::kAllBackends) {
+    if (!choices.empty()) choices += ", ";
+    choices += gee::core::to_string(backend);
+  }
+  return choices;
+}
+
 void ArgParser::add_option(const std::string& name, const std::string& help,
                            const std::string& default_value) {
   specs_.emplace_back(name, Spec{help, default_value, /*is_flag=*/false});

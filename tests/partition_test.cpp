@@ -1,0 +1,361 @@
+// The edge-partition execution subsystem (src/partition/) and the two
+// backends built on it.
+//
+//  * Partitioner invariants: boundaries cover the row space, blocks'
+//    entries land only in rows the block owns (the ownership invariant),
+//    entry counts match the update-side semantics, plans are cached on the
+//    Graph and reused.
+//  * Backend contract: kPartitioned is BITWISE equal to kCompiledSerial
+//    (stable bucketing preserves every cell's accumulation order) on SBM /
+//    R-MAT / Erdős–Rényi graphs across weighted/unweighted x
+//    laplacian/diag_augment/correlation; kReplicated agrees up to
+//    floating-point reassociation.
+//  * Determinism: two runs at a fixed block count produce identical Z, for
+//    kPartitioned even across different block counts and thread counts.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gee/gee.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/labels.hpp"
+#include "gen/rmat.hpp"
+#include "gen/sbm.hpp"
+#include "parallel/parallel_for.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/tile_accumulator.hpp"
+#include "partition/tile_pool.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gee::core;
+using namespace gee::graph;
+using gee::par::ThreadScope;
+using gee::partition::EdgePartitionPlan;
+using gee::partition::UpdateSides;
+
+EdgeList with_random_weights(EdgeList el, std::uint64_t seed) {
+  gee::util::Xoshiro256 rng(seed);
+  auto& w = el.mutable_weights();
+  w.resize(el.num_edges());
+  for (auto& x : w) {
+    x = static_cast<Weight>(rng.next_below(16) + 1) * 0.25f;
+  }
+  return el;
+}
+
+/// The satellite's graph matrix: SBM, R-MAT, Erdős–Rényi; unweighted and
+/// weighted variants of each.
+struct NamedGraph {
+  const char* name;
+  EdgeList edges;
+};
+
+std::vector<NamedGraph> test_graphs() {
+  std::vector<NamedGraph> graphs;
+  auto sbm = gee::gen::sbm(gee::gen::SbmParams::balanced(600, 4, 0.05, 0.005),
+                           7);
+  auto rmat = gee::gen::rmat(10, 8, 3);
+  auto er = gee::gen::erdos_renyi_gnm(500, 6000, 11);
+  graphs.push_back({"sbm", sbm.edges});
+  graphs.push_back({"rmat", rmat});
+  graphs.push_back({"erdos-renyi", er});
+  graphs.push_back({"sbm-weighted", with_random_weights(sbm.edges, 21)});
+  graphs.push_back({"rmat-weighted", with_random_weights(rmat, 23)});
+  graphs.push_back({"erdos-renyi-weighted", with_random_weights(er, 27)});
+  return graphs;
+}
+
+/// The satellite's option matrix: plain, each flag alone, all together.
+std::vector<std::pair<const char*, Options>> option_combos(Backend backend) {
+  return {
+      {"plain", {.backend = backend}},
+      {"laplacian", {.backend = backend, .laplacian = true}},
+      {"diag_augment", {.backend = backend, .diag_augment = true}},
+      {"correlation", {.backend = backend, .correlation = true}},
+      {"all",
+       {.backend = backend,
+        .laplacian = true,
+        .diag_augment = true,
+        .correlation = true}},
+  };
+}
+
+// ------------------------------------------------------------- partitioner
+
+TEST(Partitioner, BoundariesCoverRowSpaceAndEntriesMatchSemantics) {
+  const auto el = gee::gen::rmat(9, 8, 5);
+  const Graph g = Graph::build(el, GraphKind::kUndirected);
+  for (const UpdateSides sides :
+       {UpdateSides::kDestOnly, UpdateSides::kBoth}) {
+    for (const int blocks : {1, 3, 8, 64}) {
+      const auto plan = gee::partition::build_plan(g.out(), sides, blocks);
+      ASSERT_EQ(plan.num_blocks, blocks);
+      ASSERT_EQ(plan.row_starts.size(), static_cast<std::size_t>(blocks) + 1);
+      EXPECT_EQ(plan.row_starts.front(), 0u);
+      EXPECT_EQ(plan.row_starts.back(), g.num_vertices());
+      for (int p = 0; p < blocks; ++p) {
+        EXPECT_LE(plan.row_starts[p], plan.row_starts[p + 1]);
+        EXPECT_LE(plan.entry_offsets[p], plan.entry_offsets[p + 1]);
+      }
+      const EdgeId expected = sides == UpdateSides::kBoth
+                                  ? 2 * g.num_arcs()
+                                  : g.num_arcs();
+      EXPECT_EQ(plan.num_entries(), expected);
+    }
+  }
+}
+
+TEST(Partitioner, OwnershipInvariant) {
+  // Every entry of block p writes a row in [row_starts[p], row_starts[p+1]):
+  // the invariant that makes plain (non-atomic) adds race-free.
+  const auto el = gee::gen::rmat(9, 10, 13);
+  const Graph g = Graph::build(el, GraphKind::kUndirected);
+  const auto plan =
+      gee::partition::build_plan(g.out(), UpdateSides::kDestOnly, 7);
+  for (int p = 0; p < plan.num_blocks; ++p) {
+    const auto block = plan.block(p);
+    for (const VertexId row : block.rows) {
+      ASSERT_GE(row, block.row_lo);
+      ASSERT_LT(row, block.row_hi);
+    }
+  }
+}
+
+TEST(Partitioner, BlocksAreEntryBalanced) {
+  // Degree-weighted boundaries: no block exceeds its fair share by more
+  // than the heaviest single row (row ownership cannot split a hub).
+  const auto el = gee::gen::rmat(10, 16, 17);  // skewed: the hard case
+  const Graph g = Graph::build(el, GraphKind::kUndirected);
+  const int blocks = 8;
+  const auto plan =
+      gee::partition::build_plan(g.out(), UpdateSides::kDestOnly, blocks);
+  EdgeId max_row_weight = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_row_weight = std::max(max_row_weight, g.out().degree(v));
+  }
+  const EdgeId fair = plan.num_entries() / blocks;
+  for (int p = 0; p < blocks; ++p) {
+    const EdgeId got = plan.entry_offsets[p + 1] - plan.entry_offsets[p];
+    EXPECT_LE(got, fair + max_row_weight) << "block " << p;
+  }
+}
+
+TEST(Partitioner, EdgeListPlanCountsBothSides) {
+  EdgeList el(4);
+  el.add(0, 1);
+  el.add(1, 2, 2.0f);
+  el.add(3, 3);  // self-loop: both entries land on row 3
+  const auto plan = gee::partition::build_plan(el, 2);
+  EXPECT_EQ(plan.num_entries(), 6u);
+  EXPECT_TRUE(plan.weighted());
+}
+
+TEST(Partitioner, PlanIsCachedOnTheGraph) {
+  const auto el = gee::gen::erdos_renyi_gnm(200, 2000, 31);
+  const Graph g = Graph::build(el, GraphKind::kUndirected);
+  const auto a = gee::partition::plan_for(g, UpdateSides::kDestOnly, 4);
+  const auto b = gee::partition::plan_for(g, UpdateSides::kDestOnly, 4);
+  EXPECT_EQ(a.get(), b.get()) << "second call must hit the AuxCache";
+  const auto c = gee::partition::plan_for(g, UpdateSides::kDestOnly, 8);
+  EXPECT_NE(a.get(), c.get()) << "different block count, different plan";
+  const Graph copy = g;  // copies share the cache
+  const auto d = gee::partition::plan_for(copy, UpdateSides::kDestOnly, 4);
+  EXPECT_EQ(a.get(), d.get());
+}
+
+TEST(Partitioner, ResolveNumBlocks) {
+  EXPECT_EQ(gee::partition::resolve_num_blocks(5), 5);
+  EXPECT_GE(gee::partition::resolve_num_blocks(0), 1);
+  EXPECT_GE(gee::partition::resolve_num_blocks(-3), 1);
+  EXPECT_EQ(gee::partition::resolve_num_blocks(1 << 30), 1 << 20);
+}
+
+// ------------------------------------------------------- tile accumulator
+
+TEST(TilePool, RecyclesBuffers) {
+  auto& pool = gee::partition::TilePool::instance();
+  pool.trim();
+  {
+    gee::partition::TileAccumulator acc(1024, 3);
+    acc.zero_fill();
+  }
+  EXPECT_EQ(pool.pooled_count(), 3u);
+  {
+    gee::partition::TileAccumulator acc(512, 3);  // smaller fits pooled
+    EXPECT_EQ(pool.pooled_count(), 0u);
+  }
+  EXPECT_EQ(pool.pooled_count(), 3u);
+  pool.trim();
+  EXPECT_EQ(pool.pooled_count(), 0u);
+}
+
+TEST(TileAccumulator, TreeReductionSumsAllTiles) {
+  const std::size_t cells = 100;
+  gee::partition::TileAccumulator acc(cells, 5);
+  acc.zero_fill();
+  for (int t = 0; t < acc.num_tiles(); ++t) {
+    for (std::size_t i = 0; i < cells; ++i) {
+      acc.tile(t)[i] = static_cast<double>(t + 1);
+    }
+  }
+  std::vector<double> out(cells, 1.0);
+  acc.reduce_into(out.data());
+  for (std::size_t i = 0; i < cells; ++i) {
+    ASSERT_DOUBLE_EQ(out[i], 1.0 + 1 + 2 + 3 + 4 + 5);
+  }
+}
+
+// ----------------------------------------------- backend equality contract
+
+double max_diff(const Embedding& a, const Embedding& b) {
+  return max_abs_diff(a, b);
+}
+
+TEST(PartitionedBackend, BitwiseEqualToCompiledSerialOnGraphPath) {
+  for (const auto& tg : test_graphs()) {
+    const Graph g = Graph::build(tg.edges, GraphKind::kUndirected);
+    const auto y = gee::gen::semi_supervised_labels(g.num_vertices(), 9,
+                                                    0.3, 5);
+    for (const auto& [combo_name, base] : option_combos(Backend::kPartitioned)) {
+      SCOPED_TRACE(std::string(tg.name) + " / " + combo_name);
+      Options serial = base;
+      serial.backend = Backend::kCompiledSerial;
+      const auto reference = embed(g, y, serial);
+      const auto result = embed(g, y, base);
+      // Bitwise: stable bucketing preserves each cell's accumulation order.
+      EXPECT_EQ(max_diff(result.z, reference.z), 0.0);
+    }
+  }
+}
+
+TEST(PartitionedBackend, BitwiseEqualToCompiledSerialOnEdgeListPath) {
+  for (const auto& tg : test_graphs()) {
+    const auto y = gee::gen::semi_supervised_labels(tg.edges.num_vertices(),
+                                                    6, 0.4, 9);
+    for (const auto& [combo_name, base] : option_combos(Backend::kPartitioned)) {
+      SCOPED_TRACE(std::string(tg.name) + " / " + combo_name);
+      Options serial = base;
+      serial.backend = Backend::kCompiledSerial;
+      const auto reference = embed_edges(tg.edges, y, serial);
+      const auto result = embed_edges(tg.edges, y, base);
+      EXPECT_EQ(max_diff(result.z, reference.z), 0.0);
+    }
+  }
+}
+
+TEST(PartitionedBackend, BitwiseEqualOnDirectedGraphs) {
+  const auto el = with_random_weights(gee::gen::rmat(9, 8, 41), 43);
+  const Graph g = Graph::build(el, GraphKind::kDirected);
+  const auto y = gee::gen::semi_supervised_labels(g.num_vertices(), 5, 0.5, 3);
+  const auto reference = embed(g, y, {.backend = Backend::kCompiledSerial});
+  const auto result = embed(g, y, {.backend = Backend::kPartitioned});
+  EXPECT_EQ(max_diff(result.z, reference.z), 0.0);
+}
+
+TEST(ReplicatedBackend, MatchesCompiledSerialUpToReassociation) {
+  for (const auto& tg : test_graphs()) {
+    const Graph g = Graph::build(tg.edges, GraphKind::kUndirected);
+    const auto y = gee::gen::semi_supervised_labels(g.num_vertices(), 9,
+                                                    0.3, 5);
+    for (const auto& [combo_name, base] : option_combos(Backend::kReplicated)) {
+      SCOPED_TRACE(std::string(tg.name) + " / " + combo_name);
+      Options serial = base;
+      serial.backend = Backend::kCompiledSerial;
+      const auto reference = embed(g, y, serial);
+      const auto result = embed(g, y, base);
+      // Tile reduction reassociates the per-cell sum; values agree to fp
+      // accumulation error, not bitwise.
+      EXPECT_LT(max_diff(result.z, reference.z), 1e-9);
+    }
+  }
+}
+
+TEST(ReplicatedBackend, MatchesCompiledSerialOnEdgeListPath) {
+  for (const auto& tg : test_graphs()) {
+    const auto y = gee::gen::semi_supervised_labels(tg.edges.num_vertices(),
+                                                    6, 0.4, 9);
+    SCOPED_TRACE(tg.name);
+    const auto reference =
+        embed_edges(tg.edges, y, {.backend = Backend::kCompiledSerial});
+    const auto result =
+        embed_edges(tg.edges, y, {.backend = Backend::kReplicated});
+    EXPECT_LT(max_diff(result.z, reference.z), 1e-9);
+  }
+}
+
+// ------------------------------------------------------------- determinism
+
+TEST(PartitionedBackend, DeterministicAtFixedBlockCount) {
+  const auto el = gee::gen::rmat(10, 8, 51);
+  const Graph g = Graph::build(el, GraphKind::kUndirected);
+  const auto y = gee::gen::semi_supervised_labels(g.num_vertices(), 10,
+                                                  0.2, 7);
+  const Options options{.backend = Backend::kPartitioned,
+                        .partition_blocks = 6};
+  const auto first = embed(g, y, options);
+  const auto second = embed(g, y, options);
+  EXPECT_EQ(max_diff(first.z, second.z), 0.0);
+}
+
+TEST(PartitionedBackend, IdenticalAcrossBlockAndThreadCounts) {
+  // Stronger than the acceptance criterion: because a cell's accumulation
+  // order is the arc order for ANY block count, Z is identical across P
+  // and across thread counts, not merely across runs at fixed P.
+  const auto el = gee::gen::erdos_renyi_gnm(400, 8000, 61);
+  const Graph g = Graph::build(el, GraphKind::kUndirected);
+  const auto y = gee::gen::semi_supervised_labels(g.num_vertices(), 8,
+                                                  0.3, 11);
+  Embedding reference;
+  {
+    ThreadScope scope(1);
+    reference = embed(g, y, {.backend = Backend::kPartitioned,
+                             .partition_blocks = 1})
+                    .z;
+  }
+  for (const int blocks : {2, 5, 16}) {
+    for (const int threads : {2, 7}) {
+      const auto result = embed(g, y, {.backend = Backend::kPartitioned,
+                                       .num_threads = threads,
+                                       .partition_blocks = blocks});
+      EXPECT_EQ(max_diff(result.z, reference), 0.0)
+          << blocks << " blocks, " << threads << " threads";
+    }
+  }
+}
+
+TEST(ReplicatedBackend, DeterministicAtFixedThreadCount) {
+  const auto el = gee::gen::rmat(10, 8, 71);
+  const Graph g = Graph::build(el, GraphKind::kUndirected);
+  const auto y = gee::gen::semi_supervised_labels(g.num_vertices(), 10,
+                                                  0.2, 7);
+  const Options options{.backend = Backend::kReplicated, .num_threads = 4};
+  const auto first = embed(g, y, options);
+  const auto second = embed(g, y, options);
+  EXPECT_EQ(max_diff(first.z, second.z), 0.0);
+}
+
+// --------------------------------------------------------------- plumbing
+
+TEST(PartitionedBackend, RepeatEmbedHitsThePlanCache) {
+  const auto el = gee::gen::erdos_renyi_gnm(300, 5000, 81);
+  const Graph g = Graph::build(el, GraphKind::kUndirected);
+  const auto y = gee::gen::semi_supervised_labels(g.num_vertices(), 5,
+                                                  0.3, 3);
+  const Options options{.backend = Backend::kPartitioned,
+                        .partition_blocks = 4};
+  const auto first = embed(g, y, options);
+  EXPECT_GT(first.timings.graph_build, 0.0) << "first call builds the plan";
+  EXPECT_EQ(g.aux().size(), 1u);
+  const auto second = embed(g, y, options);
+  EXPECT_EQ(g.aux().size(), 1u) << "second call must not rebuild";
+  EXPECT_EQ(max_diff(first.z, second.z), 0.0);
+}
+
+TEST(Backends, ToStringCoversNewValues) {
+  EXPECT_EQ(to_string(Backend::kPartitioned), "partitioned");
+  EXPECT_EQ(to_string(Backend::kReplicated), "replicated");
+}
+
+}  // namespace

@@ -160,6 +160,32 @@ TEST(ArgParser, UsageListsOptions) {
   EXPECT_NE(u.find("--verbose"), std::string::npos);
 }
 
+// ------------------------------------------------------------ backend names
+
+TEST(ParseBackend, RoundTripsEveryBackend) {
+  for (const gee::core::Backend backend : gee::core::kAllBackends) {
+    const std::string name = gee::core::to_string(backend);
+    const auto parsed = gee::util::parse_backend(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, backend) << name;
+  }
+}
+
+TEST(ParseBackend, CoversNewEnumValues) {
+  EXPECT_EQ(gee::util::parse_backend("partitioned"),
+            gee::core::Backend::kPartitioned);
+  EXPECT_EQ(gee::util::parse_backend("replicated"),
+            gee::core::Backend::kReplicated);
+  EXPECT_FALSE(gee::util::parse_backend("no-such-backend").has_value());
+}
+
+TEST(ParseBackend, ChoicesListEveryName) {
+  const std::string choices = gee::util::backend_choices();
+  for (const gee::core::Backend backend : gee::core::kAllBackends) {
+    EXPECT_NE(choices.find(gee::core::to_string(backend)), std::string::npos);
+  }
+}
+
 // ---------------------------------------------------------------------- env
 
 TEST(Env, StringUnsetAndSet) {
