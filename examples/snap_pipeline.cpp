@@ -15,6 +15,8 @@
 #include "gen/labels.hpp"
 #include "graph/io.hpp"
 #include "graph/validation.hpp"
+#include "stream/dynamic_gee.hpp"
+#include "stream/update_batch.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -43,6 +45,10 @@ int main(int argc, char** argv) {
   args.add_option("label-fraction", "fraction of labels revealed to GEE",
                   "0.30");
   args.add_option("seed", "random seed", "3");
+  args.add_option("replay",
+                  "stream the edge list through DynamicGee in this many "
+                  "batches and report final-vs-batch max-abs error (0 = off)",
+                  "0");
   if (!args.parse(argc, argv)) return 1;
 
   gee::graph::EdgeList el;
@@ -88,6 +94,38 @@ int main(int argc, char** argv) {
   }
   std::printf("revealed %u of %u labels to GEE\n",
               gee::gen::num_labeled(observed), g.num_vertices());
+
+  // --replay B: re-ingest the file as a stream of B update batches through
+  // the dynamic engine and check it lands on the one-shot batch embedding.
+  // This is the dynamic-pipeline smoke test on a real graph: identical
+  // linearity, different accumulation order, so the error is pure
+  // floating-point reassociation (expect ~1e-12 at karate scale).
+  if (const auto num_batches = args.get_int("replay"); num_batches > 0) {
+    gee::stream::DynamicGee dynamic(observed);
+    const auto m = el.num_edges();
+    for (std::int64_t b = 0; b < num_batches; ++b) {
+      const auto lo = static_cast<gee::graph::EdgeId>(
+          m * static_cast<gee::graph::EdgeId>(b) /
+          static_cast<gee::graph::EdgeId>(num_batches));
+      const auto hi = static_cast<gee::graph::EdgeId>(
+          m * static_cast<gee::graph::EdgeId>(b + 1) /
+          static_cast<gee::graph::EdgeId>(num_batches));
+      gee::stream::UpdateBatch batch;
+      for (gee::graph::EdgeId e = lo; e < hi; ++e) {
+        batch.add(el.src(e), el.dst(e), el.weight(e));
+      }
+      dynamic.apply(batch);
+    }
+    const auto one_shot = gee::core::embed_edges(
+        el, observed, {.backend = gee::core::Backend::kCompiledSerial});
+    const auto snap = dynamic.snapshot();
+    std::printf("replayed %llu edges in %lld batches (epoch %llu): "
+                "final-vs-batch max-abs error %.3g\n",
+                static_cast<unsigned long long>(m),
+                static_cast<long long>(num_batches),
+                static_cast<unsigned long long>(snap.epoch),
+                gee::core::max_abs_diff(*snap.z, one_shot.z));
+  }
 
   const auto result = gee::core::embed(
       g, observed,

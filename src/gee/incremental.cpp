@@ -34,16 +34,11 @@ void IncrementalGee::add_edge(graph::VertexId u, graph::VertexId v,
   if (u >= z_.num_vertices() || v >= z_.num_vertices()) {
     throw std::out_of_range("IncrementalGee::add_edge: vertex out of range");
   }
-  const std::int32_t yu = labels_[u];
-  const std::int32_t yv = labels_[v];
-  if (yv >= 0) {
-    gee::par::write_add(z_.at(u, yv),
-                        projection_.vertex_weight[v] * static_cast<Real>(w));
-  }
-  if (yu >= 0) {
-    gee::par::write_add(z_.at(v, yu),
-                        projection_.vertex_weight[u] * static_cast<Real>(w));
-  }
+  detail::edge_delta_updates(projection_, labels_, z_, u, v,
+                             static_cast<Real>(w),
+                             [](Real& cell, Real d) {
+                               gee::par::write_add(cell, d);
+                             });
   gee::par::write_add(edges_applied_, std::uint64_t{1});
 }
 

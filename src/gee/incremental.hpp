@@ -27,6 +27,25 @@
 
 namespace gee::core {
 
+namespace detail {
+
+/// Algorithm 1's two O(K) row updates for one signed edge delta (w < 0
+/// removes mass). `add(cell, delta)` commits each update -- pass a plain
+/// `+=` from single-writer code (stream::DynamicGee's serial path) or
+/// par::write_add from concurrent code (IncrementalGee's bulk adds).
+template <class AddFn>
+inline void edge_delta_updates(const Projection& projection,
+                               std::span<const std::int32_t> labels,
+                               Embedding& z, graph::VertexId u,
+                               graph::VertexId v, Real w, AddFn&& add) {
+  const std::int32_t yu = labels[u];
+  const std::int32_t yv = labels[v];
+  if (yv >= 0) add(z.at(u, yv), projection.vertex_weight[v] * w);
+  if (yu >= 0) add(z.at(v, yu), projection.vertex_weight[u] * w);
+}
+
+}  // namespace detail
+
 class IncrementalGee {
  public:
   /// Start from an empty graph over `labels` (n vertices, K classes as in

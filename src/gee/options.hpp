@@ -95,6 +95,20 @@ struct Options {
   /// The embedding is identical for every P (see Backend::kPartitioned);
   /// P only shapes load balance and the per-block working set.
   int partition_blocks = 0;
+
+  /// Streaming (src/stream/ DynamicGee): a batch with at least this many
+  /// coalesced updates is bucketed through the edge partitioner and applied
+  /// in parallel with owned rows (zero atomics); smaller batches take the
+  /// serial incremental path, whose O(b*K) plain adds beat the partition
+  /// sort below the crossover. Measure with bench_stream; <= 0 forces the
+  /// partitioned path for every batch.
+  std::int64_t stream_parallel_threshold = 8192;
+
+  /// Streaming: rebuild Z from the live edge set once removals since the
+  /// last rebuild exceed this fraction of the live edge count. Removals
+  /// leave ~1 ulp of floating-point residue per operation (incremental.hpp);
+  /// the rebuild bounds accumulated drift. <= 0 disables drift rebuilds.
+  double stream_rebuild_drift = 0.5;
 };
 
 /// Wall-clock breakdown of an embed() call (seconds).

@@ -109,6 +109,16 @@ class Graph {
   /// Wrap directed out/in CSR pair (in may be empty -> in() unavailable).
   static Graph from_directed_csr(Csr out, Csr in);
 
+  /// In-place mutation hook: replace this Graph's adjacency with one rebuilt
+  /// from `edges` (same parameters as build). Every derived structure cached
+  /// on aux() is invalidated by detaching to a *fresh* AuxCache -- copies of
+  /// the pre-mutation Graph keep the old cache, which still matches their
+  /// (shared, immutable) CSR, so a stale plan can never be paired with the
+  /// new adjacency. generation() increments on every mutation; long-lived
+  /// holders can compare generations instead of pointers.
+  void rebuild(const EdgeList& edges, GraphKind kind, BuildOptions options = {},
+               VertexId n = 0);
+
   [[nodiscard]] VertexId num_vertices() const noexcept {
     return out_ ? out_->num_vertices() : 0;
   }
@@ -131,15 +141,24 @@ class Graph {
     return *in_;
   }
 
-  /// Cache for structures derived from this (immutable) graph, e.g. the
-  /// edge partition plan. Shared by copies, so repeated embed() calls on
-  /// the same graph amortize derived-structure construction.
+  /// Cache for structures derived from this graph's current adjacency,
+  /// e.g. the edge partition plan. Shared by copies, so repeated embed()
+  /// calls on the same graph amortize derived-structure construction.
+  /// rebuild() detaches to a fresh cache (see above): cached artifacts are
+  /// valid exactly as long as the adjacency they were derived from.
   [[nodiscard]] util::AuxCache& aux() const noexcept { return *aux_; }
+
+  /// Mutation counter: 0 for a freshly built graph, +1 per rebuild().
+  /// Copies inherit the value at copy time.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
 
  private:
   std::shared_ptr<const Csr> out_;
   std::shared_ptr<const Csr> in_;  // == out_ for undirected graphs
   std::shared_ptr<util::AuxCache> aux_ = std::make_shared<util::AuxCache>();
+  std::uint64_t generation_ = 0;
   bool directed_ = false;
 };
 

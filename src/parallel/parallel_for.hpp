@@ -13,7 +13,44 @@
 
 #include <omp.h>
 
+// ThreadSanitizer interop. OpenMP's fork/join synchronization happens
+// inside the runtime (libgomp), which TSan builds cannot see, so a
+// sanitized binary would report false races between one region's writes
+// and a later region's reads -- accesses that are in fact ordered by the
+// implicit barrier. Every OpenMP region in this project goes through the
+// wrappers below (raw pragmas are banned outside this header), so the
+// edges are restored manually: the forking thread releases a per-region
+// sync token, each worker acquires it on entry and releases it after the
+// region's work, and the forking thread acquires after the join.
+#if defined(__SANITIZE_THREAD__)
+#define GEE_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define GEE_TSAN_ENABLED 1
+#endif
+#endif
+#ifdef GEE_TSAN_ENABLED
+extern "C" void __tsan_acquire(void* addr);
+extern "C" void __tsan_release(void* addr);
+#endif
+
 namespace gee::par {
+
+namespace detail {
+
+inline void tsan_release([[maybe_unused]] void* sync) noexcept {
+#ifdef GEE_TSAN_ENABLED
+  __tsan_release(sync);
+#endif
+}
+
+inline void tsan_acquire([[maybe_unused]] void* sync) noexcept {
+#ifdef GEE_TSAN_ENABLED
+  __tsan_acquire(sync);
+#endif
+}
+
+}  // namespace detail
 
 /// Default minimum work per task; below this, loops run serially. Chosen so
 /// that per-iteration work of ~a few ns still amortizes scheduling overhead.
@@ -62,8 +99,16 @@ void parallel_for(Index begin, Index end, Fn&& f,
     for (Index i = begin; i < end; ++i) f(i);
     return;
   }
-#pragma omp parallel for schedule(static)
-  for (Index i = begin; i < end; ++i) f(i);
+  char sync;  // per-region fork/join token (see TSan note above)
+  detail::tsan_release(&sync);
+#pragma omp parallel
+  {
+    detail::tsan_acquire(&sync);
+#pragma omp for schedule(static)
+    for (Index i = begin; i < end; ++i) f(i);
+    detail::tsan_release(&sync);
+  }
+  detail::tsan_acquire(&sync);
 }
 
 /// Dynamic-schedule variant for irregular work (per-vertex edge lists of a
@@ -79,8 +124,16 @@ void parallel_for_dynamic(Index begin, Index end, Fn&& f,
     return;
   }
   const int omp_chunk = static_cast<int>(chunk);
-#pragma omp parallel for schedule(dynamic, omp_chunk)
-  for (Index i = begin; i < end; ++i) f(i);
+  char sync;
+  detail::tsan_release(&sync);
+#pragma omp parallel
+  {
+    detail::tsan_acquire(&sync);
+#pragma omp for schedule(dynamic, omp_chunk)
+    for (Index i = begin; i < end; ++i) f(i);
+    detail::tsan_release(&sync);
+  }
+  detail::tsan_acquire(&sync);
 }
 
 /// Run f(thread_id, num_threads_in_team) once per thread of a fresh team.
@@ -91,8 +144,15 @@ void parallel_team(Fn&& f) {
     f(0, 1);
     return;
   }
+  char sync;
+  detail::tsan_release(&sync);
 #pragma omp parallel
-  { f(omp_get_thread_num(), omp_get_num_threads()); }
+  {
+    detail::tsan_acquire(&sync);
+    f(omp_get_thread_num(), omp_get_num_threads());
+    detail::tsan_release(&sync);
+  }
+  detail::tsan_acquire(&sync);
 }
 
 /// Split [0, n) into nearly equal contiguous blocks; returns [lo, hi) of

@@ -91,22 +91,31 @@ void parallel_sort(It first, It last, Compare comp = {}) {
   for (std::size_t b = 0; b < blocks; ++b)
     bounds[b + 1] = block_range(n, blocks, b).hi;
 
-#pragma omp parallel for schedule(dynamic, 1)
-  for (std::size_t b = 0; b < blocks; ++b)
-    std::sort(first + static_cast<std::ptrdiff_t>(bounds[b]),
-              first + static_cast<std::ptrdiff_t>(bounds[b + 1]), comp);
+  // Through parallel_for_dynamic (not raw pragmas) so the wrapper's TSan
+  // fork/join annotations cover these regions too. chunk=0 would serialize;
+  // chunk=1 hands out one block/merge at a time exactly like the previous
+  // schedule(dynamic, 1).
+  parallel_for_dynamic(
+      std::size_t{0}, blocks,
+      [&](std::size_t b) {
+        std::sort(first + static_cast<std::ptrdiff_t>(bounds[b]),
+                  first + static_cast<std::ptrdiff_t>(bounds[b + 1]), comp);
+      },
+      /*chunk=*/1);
 
   for (std::size_t width = 1; width < blocks; width *= 2) {
     const std::size_t pairs = blocks / (2 * width);
-#pragma omp parallel for schedule(dynamic, 1)
-    for (std::size_t p = 0; p < pairs; ++p) {
-      const std::size_t lo = bounds[p * 2 * width];
-      const std::size_t mid = bounds[p * 2 * width + width];
-      const std::size_t hi = bounds[p * 2 * width + 2 * width];
-      std::inplace_merge(first + static_cast<std::ptrdiff_t>(lo),
-                         first + static_cast<std::ptrdiff_t>(mid),
-                         first + static_cast<std::ptrdiff_t>(hi), comp);
-    }
+    parallel_for_dynamic(
+        std::size_t{0}, pairs,
+        [&](std::size_t p) {
+          const std::size_t lo = bounds[p * 2 * width];
+          const std::size_t mid = bounds[p * 2 * width + width];
+          const std::size_t hi = bounds[p * 2 * width + 2 * width];
+          std::inplace_merge(first + static_cast<std::ptrdiff_t>(lo),
+                             first + static_cast<std::ptrdiff_t>(mid),
+                             first + static_cast<std::ptrdiff_t>(hi), comp);
+        },
+        /*chunk=*/1);
   }
 }
 

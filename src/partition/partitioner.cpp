@@ -51,15 +51,16 @@ std::vector<VertexId> select_boundaries(
                          num_blocks);
 }
 
-/// The stable parallel counting sort shared by both build_plan overloads.
+/// The stable parallel counting sort shared by every plan builder.
 /// `emit_chunk(c, sink)` must call sink(row, other, weight) for every entry
 /// of chunk c, in the global entry order restricted to that chunk; chunks
-/// must cover the entry stream contiguously and in order. Stability makes
+/// must cover the entry stream contiguously and in order. `block_of(row)`
+/// maps a row to its owning block (a flat table for the dense builders, a
+/// boundary binary search for the sparse delta builder). Stability makes
 /// the output independent of the chunk count: an entry's slot is determined
 /// by (block, global order) alone.
-template <class EmitChunk>
-void bucket_entries(EdgePartitionPlan& plan,
-                    const std::vector<std::uint32_t>& block_of,
+template <class BlockOf, class EmitChunk>
+void bucket_entries(EdgePartitionPlan& plan, BlockOf&& block_of,
                     EdgeId num_entries, bool weighted, int num_chunks,
                     EmitChunk&& emit_chunk) {
   const int num_blocks = plan.num_blocks;
@@ -72,7 +73,7 @@ void bucket_entries(EdgePartitionPlan& plan,
       auto& mine = cursor[static_cast<std::size_t>(c)];
       mine.assign(static_cast<std::size_t>(num_blocks), 0);
       emit_chunk(c, [&](VertexId row, VertexId /*other*/, Weight /*w*/) {
-        mine[block_of[row]]++;
+        mine[block_of(row)]++;
       });
     }
   });
@@ -100,7 +101,7 @@ void bucket_entries(EdgePartitionPlan& plan,
     for (int c = tid; c < num_chunks; c += team) {
       auto& mine = cursor[static_cast<std::size_t>(c)];
       emit_chunk(c, [&](VertexId row, VertexId other, Weight w) {
-        const std::uint64_t i = mine[block_of[row]]++;
+        const std::uint64_t i = mine[block_of(row)]++;
         plan.rows[i] = row;
         plan.others[i] = other;
         if (weighted) plan.weights[i] = w;
@@ -164,7 +165,8 @@ EdgePartitionPlan build_plan(const graph::Csr& arcs, UpdateSides sides,
                                        static_cast<std::size_t>(n));
 
   plan.row_starts = select_boundaries(prefix, num_blocks);
-  const auto block_of = invert_boundaries(plan.row_starts);
+  const auto block_table = invert_boundaries(plan.row_starts);
+  const auto block_of = [&](VertexId r) { return block_table[r]; };
 
   // Chunk the arc index space evenly; each chunk emits its entries in arc
   // order (dest-side first, then source-side, matching pass_serial_csr).
@@ -212,10 +214,76 @@ EdgePartitionPlan build_plan(const graph::EdgeList& edges, int num_blocks) {
                                        static_cast<std::size_t>(n));
 
   plan.row_starts = select_boundaries(prefix, num_blocks);
-  const auto block_of = invert_boundaries(plan.row_starts);
+  const auto block_table = invert_boundaries(plan.row_starts);
+  const auto block_of = [&](VertexId r) { return block_table[r]; };
 
   // Emit per edge in the serial reference order (pass_serial_edges):
   // source-side first (line 10), dest-side second (line 11).
+  const int num_chunks = std::max(1, gee::par::num_threads());
+  auto emit_chunk = [&](int c, auto&& sink) {
+    const auto [lo, hi] =
+        gee::par::block_range(static_cast<std::size_t>(m),
+                              static_cast<std::size_t>(num_chunks),
+                              static_cast<std::size_t>(c));
+    for (std::size_t e = lo; e < hi; ++e) {
+      const Weight w = weights.empty() ? Weight{1} : weights[e];
+      sink(srcs[e], dsts[e], w);  // src-side: row u, contributor v
+      sink(dsts[e], srcs[e], w);  // dest-side: row v, contributor u
+    }
+  };
+  bucket_entries(plan, block_of, num_entries, edges.weighted(), num_chunks,
+                 emit_chunk);
+  return plan;
+}
+
+EdgePartitionPlan build_delta_plan(const graph::EdgeList& edges,
+                                   int num_blocks) {
+  num_blocks = resolve_num_blocks(num_blocks);
+  const VertexId n = edges.num_vertices();
+  const EdgeId m = edges.num_edges();
+  const EdgeId num_entries = 2 * m;
+  const auto srcs = edges.srcs();
+  const auto dsts = edges.dsts();
+  const auto weights = edges.weights();
+
+  EdgePartitionPlan plan;
+  plan.num_blocks = num_blocks;
+  if (m == 0) {
+    plan.row_starts.assign(static_cast<std::size_t>(num_blocks) + 1, 0);
+    plan.row_starts.back() = n;
+    plan.entry_offsets.assign(static_cast<std::size_t>(num_blocks) + 1, 0);
+    return plan;
+  }
+
+  // Boundaries are quantiles of the sorted entry-row multiset: no O(n)
+  // histogram, and blocks still carry near-equal entry counts. Ownership is
+  // by row *value*, so a run of equal rows straddling a quantile index all
+  // lands in the later block -- same hub-bound skew as the dense builder.
+  std::vector<VertexId> sorted_rows;
+  sorted_rows.reserve(static_cast<std::size_t>(num_entries));
+  sorted_rows.insert(sorted_rows.end(), srcs.begin(), srcs.end());
+  sorted_rows.insert(sorted_rows.end(), dsts.begin(), dsts.end());
+  std::sort(sorted_rows.begin(), sorted_rows.end());
+
+  plan.row_starts.assign(static_cast<std::size_t>(num_blocks) + 1, 0);
+  plan.row_starts.back() = n;
+  for (int t = 1; t < num_blocks; ++t) {
+    const auto idx = static_cast<std::size_t>(num_entries) *
+                     static_cast<std::size_t>(t) /
+                     static_cast<std::size_t>(num_blocks);
+    plan.row_starts[static_cast<std::size_t>(t)] =
+        std::max(sorted_rows[idx],
+                 plan.row_starts[static_cast<std::size_t>(t) - 1]);
+  }
+
+  const auto row_starts = std::span<const VertexId>(plan.row_starts);
+  const auto block_of = [row_starts](VertexId r) {
+    return static_cast<std::uint32_t>(
+        std::upper_bound(row_starts.begin() + 1, row_starts.end() - 1, r) -
+        row_starts.begin() - 1);
+  };
+
+  // Emit per edge in the serial reference order, as build_plan(EdgeList).
   const int num_chunks = std::max(1, gee::par::num_threads());
   auto emit_chunk = [&](int c, auto&& sink) {
     const auto [lo, hi] =

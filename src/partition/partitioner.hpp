@@ -69,6 +69,17 @@ template <class T>
 [[nodiscard]] EdgePartitionPlan build_plan(const graph::EdgeList& edges,
                                            int num_blocks);
 
+/// Sparse variant for streaming delta batches (src/stream/): partition a
+/// (typically tiny) edge list over the full row space [0, edges.
+/// num_vertices()) without the dense per-row histogram -- boundaries are
+/// quantiles of the *sorted entry-row multiset* and the row->block lookup
+/// is a binary search, so the cost is O(b log b) in the batch size rather
+/// than O(n) in the vertex count. Entries keep the serial reference order
+/// (per edge: source-side, then dest-side), so applying a block's entries
+/// in order is bitwise equal to the serial delta loop. Always kBoth.
+[[nodiscard]] EdgePartitionPlan build_delta_plan(const graph::EdgeList& edges,
+                                                 int num_blocks);
+
 /// Cached variant: the plan for (g.out(), sides, num_blocks), built on
 /// first use and attached to the graph's AuxCache so repeated embed()
 /// calls amortize partitioning. `num_blocks` must already be resolved

@@ -1,0 +1,30 @@
+// Shared internals of the stream subsystem.
+//
+// The canonical unordered-pair packing is a cross-file invariant:
+// UpdateBatch::coalesce emits keys that DynamicGee's live edge multiset
+// must agree with (removals match live edges by this key). Keep the pack
+// and unpack in one place so they cannot diverge.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "graph/types.hpp"
+
+namespace gee::stream::detail {
+
+/// Unordered endpoint pair packed into one 64-bit key (canonical u <= v).
+inline std::uint64_t pair_key(graph::VertexId u, graph::VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+inline graph::VertexId key_u(std::uint64_t key) {
+  return static_cast<graph::VertexId>(key >> 32);
+}
+
+inline graph::VertexId key_v(std::uint64_t key) {
+  return static_cast<graph::VertexId>(key & 0xffffffffu);
+}
+
+}  // namespace gee::stream::detail

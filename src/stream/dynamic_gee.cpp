@@ -1,0 +1,326 @@
+#include "stream/dynamic_gee.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "gee/incremental.hpp"
+#include "parallel/parallel_for.hpp"
+#include "partition/partitioner.hpp"
+#include "stream/detail.hpp"
+
+namespace gee::stream {
+
+using core::Real;
+
+/// Recycles snapshot buffers between the writer and expiring readers. A
+/// buffer enters when the last shared_ptr to a superseded epoch drops
+/// (possibly on a reader thread -- the pool mutex provides the
+/// happens-before edge to the writer's next acquire; never infer exclusive
+/// ownership from shared_ptr::use_count, which carries no such edge).
+/// Outlives the DynamicGee via shared_ptr: in-flight snapshots hold the
+/// pool alive through their deleters.
+struct DynamicGee::BufferPool {
+  std::mutex mutex;
+  std::vector<std::pair<std::unique_ptr<core::Embedding>, std::uint64_t>>
+      free_buffers;
+
+  /// Bound idle buffers: the writer needs one spare at steady state; a
+  /// couple more absorb bursts of reader expiry. Beyond that, free memory.
+  static constexpr std::size_t kMaxPooled = 3;
+
+  void put(core::Embedding* raw, std::uint64_t buffer_epoch) {
+    std::unique_ptr<core::Embedding> owned(raw);
+    std::lock_guard<std::mutex> lock(mutex);
+    if (free_buffers.size() < kMaxPooled) {
+      free_buffers.emplace_back(std::move(owned), buffer_epoch);
+    }
+  }
+
+  /// Newest pooled buffer (fewest epochs to replay), or {nullptr, 0}.
+  std::pair<std::unique_ptr<core::Embedding>, std::uint64_t> try_get() {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (free_buffers.empty()) return {nullptr, 0};
+    auto newest = std::max_element(
+        free_buffers.begin(), free_buffers.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    std::swap(*newest, free_buffers.back());
+    auto entry = std::move(free_buffers.back());
+    free_buffers.pop_back();
+    return entry;
+  }
+};
+
+using detail::pair_key;
+
+namespace {
+
+/// Replayable batches kept for promoting pooled buffers; a buffer further
+/// behind than this is refreshed by a full copy instead. Small on purpose:
+/// each entry pins one coalesced batch in memory.
+constexpr std::size_t kMaxDeltaLog = 16;
+
+}  // namespace
+
+DynamicGee::DynamicGee(std::span<const std::int32_t> labels,
+                       core::Options options)
+    : options_(options) {
+  init(labels);
+  auto zero = std::make_unique<core::Embedding>(n_, k_);
+  published_ = std::shared_ptr<core::Embedding>(
+      zero.release(), [pool = pool_](core::Embedding* p) { pool->put(p, 0); });
+}
+
+DynamicGee::DynamicGee(const graph::EdgeList& initial,
+                       std::span<const std::int32_t> labels,
+                       core::Options options)
+    : options_(options) {
+  init(labels);
+  if (initial.num_vertices() > n_) {
+    throw std::out_of_range("DynamicGee: initial edges exceed label vector");
+  }
+  for (graph::EdgeId e = 0; e < initial.num_edges(); ++e) {
+    LiveEdge& live = live_[pair_key(initial.src(e), initial.dst(e))];
+    live.weight += static_cast<double>(initial.weight(e));
+    live.count += 1;
+  }
+  live_count_ = initial.num_edges();
+
+  core::Options seed = options_;
+  seed.backend = core::Backend::kPartitioned;
+  auto result = core::embed_edges(initial, labels_, seed);
+  auto z = std::make_unique<core::Embedding>(std::move(result.z));
+  published_ = std::shared_ptr<core::Embedding>(
+      z.release(), [pool = pool_](core::Embedding* p) { pool->put(p, 0); });
+}
+
+void DynamicGee::init(std::span<const std::int32_t> labels) {
+  if (options_.laplacian || options_.diag_augment || options_.correlation) {
+    throw std::invalid_argument(
+        "DynamicGee: laplacian/diag_augment/correlation are nonlinear in "
+        "the edge multiset and cannot be maintained incrementally; apply "
+        "them to a snapshot instead");
+  }
+  labels_.assign(labels.begin(), labels.end());
+  projection_ = core::build_projection(labels_, options_.num_classes);
+  if (projection_.num_classes == 0) {
+    throw std::invalid_argument(
+        "DynamicGee: no labeled vertices and no K given");
+  }
+  n_ = static_cast<graph::VertexId>(labels_.size());
+  k_ = projection_.num_classes;
+  pool_ = std::make_shared<BufferPool>();
+}
+
+DynamicGee::ApplyReport DynamicGee::apply(const UpdateBatch& batch) {
+  batch.validate(n_);
+  auto deltas = batch.coalesce();
+
+  ApplyReport report;
+  report.raw_ops = batch.size();
+  report.deltas = deltas.size();
+  if (deltas.empty()) {
+    // Pure churn (or an empty batch): every operation cancelled inside the
+    // batch, so nothing reaches Z, the multiset, or the drift counter, and
+    // no new epoch is published.
+    report.epoch = epoch();
+    return report;
+  }
+
+  // Validate removals against the live multiset BEFORE mutating anything:
+  // a throwing apply leaves both Z and the multiset untouched.
+  for (const auto& d : deltas) {
+    if (d.count >= 0) continue;
+    const auto it = live_.find(pair_key(d.u, d.v));
+    const std::int64_t have = it == live_.end() ? 0 : it->second.count;
+    if (have + d.count < 0) {
+      throw std::invalid_argument(
+          "DynamicGee::apply: batch removes more copies of an edge than "
+          "the live graph holds");
+    }
+  }
+
+  std::int64_t net_count = 0;
+  std::uint64_t net_removed = 0;
+  for (const auto& d : deltas) {
+    const std::uint64_t key = pair_key(d.u, d.v);
+    LiveEdge& live = live_[key];
+    live.weight += static_cast<double>(d.weight);
+    live.count += d.count;
+    net_count += d.count;
+    // Drift counts only removals that reach Z; churn cancelled by
+    // coalescing leaves no floating-point residue.
+    if (d.count < 0) net_removed += static_cast<std::uint64_t>(-d.count);
+    if (live.count == 0) live_.erase(key);
+  }
+  live_count_ =
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(live_count_) +
+                                 net_count);
+  stats_.removed_since_rebuild += net_removed;
+
+  // One scope for everything parallel in this apply -- snapshot-buffer
+  // copies, promotion replays, plan building, and the delta pass -- so
+  // Options::num_threads bounds the writer's footprint exactly as it does
+  // for embed() (a pinned writer must not burst-steal reader cores).
+  gee::par::ThreadScope threads(options_.num_threads);
+  auto work = acquire_writable();
+  report.parallel = apply_deltas(*work, deltas);
+  publish(std::move(work), std::move(deltas));
+
+  ++stats_.batches;
+  ++(report.parallel ? stats_.parallel_batches : stats_.serial_batches);
+  stats_.deltas_applied += report.deltas;
+
+  if (drift_exceeded()) {
+    rebuild();
+    report.rebuilt = true;
+  }
+  report.epoch = epoch();
+  return report;
+}
+
+bool DynamicGee::apply_deltas(core::Embedding& z,
+                              const std::vector<UpdateBatch::Delta>& deltas) {
+  if (deltas.empty()) return false;
+  const bool parallel =
+      options_.stream_parallel_threshold <= 0 ||
+      static_cast<std::int64_t>(deltas.size()) >=
+          options_.stream_parallel_threshold;
+
+  if (!parallel) {
+    // Serial incremental path: the same two O(K) updates IncrementalGee
+    // makes per edge, with plain adds (single writer by contract).
+    for (const auto& d : deltas) {
+      core::detail::edge_delta_updates(
+          projection_, labels_, z, d.u, d.v, static_cast<Real>(d.weight),
+          [](Real& cell, Real delta) { cell += delta; });
+    }
+    return false;
+  }
+
+  // Partitioned path: bucket the batch's row updates into owned blocks and
+  // let each worker apply its rows with plain adds -- zero atomics, and
+  // bitwise equal to the serial loop above for any block count (stable
+  // bucketing preserves the sorted-delta order per cell).
+  graph::EdgeList delta_edges(n_);
+  delta_edges.reserve(deltas.size());
+  for (const auto& d : deltas) delta_edges.add(d.u, d.v, d.weight);
+  const auto plan = partition::build_delta_plan(
+      delta_edges, partition::resolve_num_blocks(options_.partition_blocks));
+
+  gee::par::parallel_for_dynamic(
+      0, plan.num_blocks,
+      [&](int p) {
+        const auto block = plan.block(p);
+        for (std::size_t i = 0; i < block.rows.size(); ++i) {
+          const VertexId other = block.others[i];
+          const std::int32_t y = labels_[other];
+          if (y < 0) continue;
+          z.at(block.rows[i], y) += projection_.vertex_weight[other] *
+                                    static_cast<Real>(block.weights[i]);
+        }
+      },
+      /*chunk=*/1);
+  return true;
+}
+
+std::unique_ptr<core::Embedding> DynamicGee::acquire_writable() {
+  auto [buffer, buffer_epoch] = pool_->try_get();
+  if (buffer != nullptr && buffer_epoch <= epoch_) {
+    const bool replayable =
+        buffer_epoch == epoch_ ||
+        (!log_.empty() && log_.front().first <= buffer_epoch + 1 &&
+         log_.back().first == epoch_);
+    if (replayable) {
+      for (const auto& [log_epoch, log_deltas] : log_) {
+        if (log_epoch > buffer_epoch) apply_deltas(*buffer, log_deltas);
+      }
+      ++stats_.buffer_promotions;
+      return std::move(buffer);
+    }
+  }
+  if (buffer == nullptr) {
+    buffer = std::make_unique<core::Embedding>(n_, k_);
+  }
+  // Too stale to replay (or fresh): full copy of the published state.
+  // Published buffers are never written, so this read needs no lock.
+  const Snapshot current = snapshot();
+  const Real* src = current.z->data();
+  Real* dst = buffer->data();
+  gee::par::parallel_for(
+      std::size_t{0}, buffer->size(),
+      [&](std::size_t i) { dst[i] = src[i]; }, /*grain=*/1 << 16);
+  ++stats_.buffer_copies;
+  return std::move(buffer);
+}
+
+void DynamicGee::publish(std::unique_ptr<core::Embedding> z,
+                         std::vector<UpdateBatch::Delta> deltas) {
+  const std::uint64_t next_epoch = epoch_ + 1;
+  std::shared_ptr<core::Embedding> next(
+      z.release(), [pool = pool_, next_epoch](core::Embedding* p) {
+        pool->put(p, next_epoch);
+      });
+  std::shared_ptr<core::Embedding> retired;
+  {
+    std::lock_guard<std::mutex> lock(publish_mutex_);
+    retired = std::exchange(published_, std::move(next));
+    epoch_ = next_epoch;
+  }
+  // `retired` drops here, outside the lock: if no reader still holds it,
+  // its deleter returns the buffer to the pool on this thread.
+  if (deltas.empty()) {
+    log_.clear();  // not replayable (rebuild); pooled buffers full-copy
+  } else {
+    log_.emplace_back(next_epoch, std::move(deltas));
+    while (log_.size() > kMaxDeltaLog) log_.pop_front();
+  }
+}
+
+Snapshot DynamicGee::snapshot() const {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  return Snapshot{published_, epoch_};
+}
+
+std::uint64_t DynamicGee::epoch() const {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  return epoch_;
+}
+
+std::uint64_t DynamicGee::staleness(const Snapshot& snap) const {
+  const std::uint64_t current = epoch();
+  return current > snap.epoch ? current - snap.epoch : 0;
+}
+
+bool DynamicGee::drift_exceeded() const noexcept {
+  if (options_.stream_rebuild_drift <= 0) return false;
+  const auto live = static_cast<double>(std::max<std::uint64_t>(
+      1, live_count_));
+  return static_cast<double>(stats_.removed_since_rebuild) >
+         options_.stream_rebuild_drift * live;
+}
+
+void DynamicGee::rebuild() {
+  // Deterministic edge list from the live multiset (parallel edges are
+  // pre-merged per pair -- Z is linear in the edge multiset, so the merged
+  // weight yields the same embedding as the individual copies).
+  std::vector<std::pair<std::uint64_t, LiveEdge>> live(live_.begin(),
+                                                       live_.end());
+  std::sort(live.begin(), live.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  graph::EdgeList edges(n_);
+  edges.reserve(live.size());
+  for (const auto& [key, e] : live) {
+    edges.add(detail::key_u(key), detail::key_v(key),
+              static_cast<Weight>(e.weight));
+  }
+
+  core::Options opts = options_;
+  opts.backend = core::Backend::kPartitioned;
+  auto result = core::embed_edges(edges, labels_, opts);
+  publish(std::make_unique<core::Embedding>(std::move(result.z)), {});
+  ++stats_.rebuilds;
+  stats_.removed_since_rebuild = 0;
+}
+
+}  // namespace gee::stream

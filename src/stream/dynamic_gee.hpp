@@ -1,0 +1,164 @@
+// DynamicGee: batched dynamic-graph maintenance of the GEE embedding.
+//
+// GEE's Z is a sum of one O(K) term per edge (gee.hpp), so a batch of edge
+// adds/removes is itself a small GEE problem: coalesce the batch into net
+// per-pair deltas, then apply each delta's two row updates. This engine
+// turns that linearity into a production ingestion path on three legs:
+//
+//  * batched delta application -- a large batch is bucketed through the
+//    PR-1 Partitioner (partition::build_delta_plan, O(b log b) in the
+//    batch, not O(n) in the graph) so workers own disjoint Z row ranges
+//    and apply deltas with plain adds: zero atomics, and bitwise equal to
+//    the serial delta loop for any block count. Batches below
+//    Options::stream_parallel_threshold take the serial incremental path
+//    (the bucketing sort costs more than it saves there).
+//  * epoch snapshots -- readers get an immutable Z (snapshot.hpp) while
+//    the writer prepares the next epoch in a separate buffer. Buffers
+//    recycle through a pool; a returning buffer is promoted to the current
+//    state by replaying the few missed batches from a bounded delta log
+//    (falling back to a full copy when too far behind), so steady-state
+//    publication does no O(nK) work.
+//  * drift rebuilds -- removals leave ~1 ulp of floating-point residue
+//    per operation; once removals since the last rebuild exceed
+//    Options::stream_rebuild_drift of the live edge count, Z is recomputed
+//    from the live edge multiset (one batch kPartitioned embed -- cheap;
+//    that is the paper's point) and republished.
+//
+// Threading contract: ONE writer thread calls apply()/rebuild(); any
+// number of reader threads call snapshot()/epoch()/staleness()
+// concurrently with the writer and each other. stats() and the other
+// inspectors are writer-thread-only.
+//
+// The label vector is fixed at construction, as in IncrementalGee: W
+// depends on global class counts, so relabeling means rebuilding from
+// scratch with a new DynamicGee.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "gee/gee.hpp"
+#include "gee/options.hpp"
+#include "gee/projection.hpp"
+#include "graph/edge_list.hpp"
+#include "stream/snapshot.hpp"
+#include "stream/update_batch.hpp"
+
+namespace gee::stream {
+
+class DynamicGee {
+ public:
+  /// Start from an empty graph over `labels` (n vertices; class count from
+  /// options.num_classes or deduced as in build_projection). Throws
+  /// std::invalid_argument for options the linear update cannot maintain
+  /// (laplacian, diag_augment, correlation are all nonlinear in the edge
+  /// multiset) and when no class count is deducible.
+  explicit DynamicGee(std::span<const std::int32_t> labels,
+                      core::Options options = {});
+
+  /// Seed from an initial edge list: one batch embed at construction
+  /// (epoch 0), live multiset primed with `initial`.
+  DynamicGee(const graph::EdgeList& initial,
+             std::span<const std::int32_t> labels, core::Options options = {});
+
+  /// What one apply() did, for callers that meter the pipeline.
+  struct ApplyReport {
+    std::uint64_t raw_ops = 0;    ///< batch entries before coalescing
+    std::uint64_t deltas = 0;     ///< net per-pair deltas applied
+    bool parallel = false;        ///< partitioned path (vs serial fallback)
+    bool rebuilt = false;         ///< drift rebuild triggered afterwards
+    std::uint64_t epoch = 0;      ///< epoch visible after this apply
+  };
+
+  /// Apply one batch and publish a new epoch. Validates before mutating:
+  /// throws std::out_of_range for endpoints outside [0, n) and
+  /// std::invalid_argument for removals the live multiset cannot cover --
+  /// in both cases embedding state and live multiset are unchanged.
+  ApplyReport apply(const UpdateBatch& batch);
+
+  /// Current published embedding; wait-free for practical purposes (one
+  /// mutex-protected shared_ptr copy, never blocked by delta application).
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Epochs published so far (0 = construction state).
+  [[nodiscard]] std::uint64_t epoch() const;
+
+  /// Batches published since `snap` was taken.
+  [[nodiscard]] std::uint64_t staleness(const Snapshot& snap) const;
+
+  /// Force a from-scratch recompute from the live edge multiset (the drift
+  /// trigger calls this automatically). Publishes a new epoch.
+  void rebuild();
+
+  [[nodiscard]] const core::Projection& projection() const noexcept {
+    return projection_;
+  }
+  [[nodiscard]] graph::VertexId num_vertices() const noexcept { return n_; }
+  /// Live edge multiplicity (parallel edges counted; writer-thread-only).
+  [[nodiscard]] std::uint64_t num_live_edges() const noexcept {
+    return live_count_;
+  }
+
+  /// Writer-side counters (writer-thread-only).
+  struct Stats {
+    std::uint64_t batches = 0;          ///< apply() calls
+    std::uint64_t serial_batches = 0;   ///< took the incremental path
+    std::uint64_t parallel_batches = 0; ///< took the partitioned path
+    std::uint64_t deltas_applied = 0;   ///< net deltas across all batches
+    std::uint64_t rebuilds = 0;         ///< drift-triggered + forced
+    std::uint64_t buffer_copies = 0;    ///< O(nK) snapshot-buffer copies
+    std::uint64_t buffer_promotions = 0;///< delta-replay buffer reuses
+    std::uint64_t removed_since_rebuild = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct BufferPool;
+  struct LiveEdge {
+    double weight = 0;
+    std::int64_t count = 0;
+  };
+
+  void init(std::span<const std::int32_t> labels);
+  /// Apply coalesced deltas to `z` (serial or partitioned by threshold);
+  /// returns true when the partitioned path ran.
+  bool apply_deltas(core::Embedding& z,
+                    const std::vector<UpdateBatch::Delta>& deltas);
+  /// A writable buffer holding the current published state: a pooled
+  /// buffer promoted via the delta log, or a fresh/recycled full copy.
+  std::unique_ptr<core::Embedding> acquire_writable();
+  /// Swap `z` in as the new published epoch; `deltas` becomes the newest
+  /// delta-log entry (empty = not replayable, log is cleared).
+  void publish(std::unique_ptr<core::Embedding> z,
+               std::vector<UpdateBatch::Delta> deltas);
+  [[nodiscard]] bool drift_exceeded() const noexcept;
+
+  std::vector<std::int32_t> labels_;
+  core::Projection projection_;
+  core::Options options_;
+  graph::VertexId n_ = 0;
+  int k_ = 0;
+
+  /// Live edge multiset keyed by packed unordered pair: net weight and
+  /// multiplicity. The rebuild source of truth.
+  std::unordered_map<std::uint64_t, LiveEdge> live_;
+  std::uint64_t live_count_ = 0;
+
+  mutable std::mutex publish_mutex_;           // guards published_ + epoch_
+  std::shared_ptr<core::Embedding> published_; // readers snapshot this
+  std::uint64_t epoch_ = 0;
+
+  std::shared_ptr<BufferPool> pool_;
+  /// (epoch, deltas) of the most recent applies, newest last; a pooled
+  /// buffer at epoch e replays entries (e, current] to catch up.
+  std::deque<std::pair<std::uint64_t, std::vector<UpdateBatch::Delta>>> log_;
+
+  Stats stats_;
+};
+
+}  // namespace gee::stream

@@ -1,0 +1,38 @@
+// Epoch snapshots: the reader side of the streaming engine.
+//
+// Every DynamicGee::apply publishes a new epoch; snapshot() hands out the
+// embedding published at the current epoch as a shared, truly immutable
+// view. The writer never mutates a published buffer -- it promotes a fully
+// released buffer (or a fresh copy) to the next state and swaps it in --
+// so a reader can classify/cluster/serve from its snapshot for as long as
+// it likes while batches keep landing. Holding a snapshot costs one n x K
+// buffer; releasing it returns the buffer to the writer's pool.
+//
+// Staleness is measured in epochs: DynamicGee::staleness(snap) says how
+// many batches have been published since the snapshot was taken, which is
+// the serving-side freshness metric (see DESIGN.md section 6).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "gee/embedding.hpp"
+
+namespace gee::stream {
+
+struct Snapshot {
+  /// Immutable view of Z as of `epoch`. Never null once a DynamicGee is
+  /// constructed; shared ownership keeps it valid past the writer's next
+  /// apply (and past the DynamicGee itself).
+  std::shared_ptr<const core::Embedding> z;
+
+  /// Publication counter: 0 for the construction-time state, +1 per
+  /// applied batch or rebuild.
+  std::uint64_t epoch = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return z != nullptr; }
+  const core::Embedding& operator*() const noexcept { return *z; }
+  const core::Embedding* operator->() const noexcept { return z.get(); }
+};
+
+}  // namespace gee::stream

@@ -1,0 +1,81 @@
+#include "stream/update_batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "stream/detail.hpp"
+
+namespace gee::stream {
+
+using detail::pair_key;
+
+void UpdateBatch::append(VertexId u, VertexId v, Weight w, bool is_add) {
+  if (!(w > 0) || !std::isfinite(w)) {
+    throw std::invalid_argument(
+        "UpdateBatch: edge weight must be positive and finite");
+  }
+  src_.push_back(u);
+  dst_.push_back(v);
+  weight_.push_back(is_add ? w : -w);
+  if (is_add) ++adds_;
+  max_vertex_ = std::max(max_vertex_, std::max(u, v));
+}
+
+void UpdateBatch::add(VertexId u, VertexId v, Weight w) {
+  append(u, v, w, /*is_add=*/true);
+}
+
+void UpdateBatch::remove(VertexId u, VertexId v, Weight w) {
+  append(u, v, w, /*is_add=*/false);
+}
+
+void UpdateBatch::clear() noexcept {
+  src_.clear();
+  dst_.clear();
+  weight_.clear();
+  adds_ = 0;
+  max_vertex_ = 0;
+}
+
+void UpdateBatch::reserve(std::size_t n) {
+  src_.reserve(n);
+  dst_.reserve(n);
+  weight_.reserve(n);
+}
+
+void UpdateBatch::validate(VertexId num_vertices) const {
+  if (!empty() && max_vertex_ >= num_vertices) {
+    throw std::out_of_range(
+        "UpdateBatch: endpoint outside the fixed vertex set [0, n)");
+  }
+}
+
+std::vector<UpdateBatch::Delta> UpdateBatch::coalesce() const {
+  struct Net {
+    double weight = 0;
+    std::int64_t count = 0;
+  };
+  std::unordered_map<std::uint64_t, Net> net;
+  net.reserve(src_.size());
+  for (std::size_t i = 0; i < src_.size(); ++i) {
+    Net& e = net[pair_key(src_[i], dst_[i])];
+    e.weight += static_cast<double>(weight_[i]);
+    e.count += weight_[i] > 0 ? 1 : -1;
+  }
+
+  std::vector<Delta> deltas;
+  deltas.reserve(net.size());
+  for (const auto& [key, e] : net) {
+    if (e.count == 0 && e.weight == 0) continue;  // exact churn cancellation
+    deltas.push_back(Delta{detail::key_u(key), detail::key_v(key),
+                           static_cast<Weight>(e.weight), e.count});
+  }
+  std::sort(deltas.begin(), deltas.end(), [](const Delta& a, const Delta& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  return deltas;
+}
+
+}  // namespace gee::stream

@@ -1,11 +1,19 @@
 // Type-erased cache for derived structures attached to a host object.
 //
-// A Graph is immutable once built, so structures derived from it (the edge
-// partition plan, and later sharding/batching metadata) can be computed once
-// and reused across embed() calls. The host owns one AuxCache; derived
-// modules stash their artifacts under a module-chosen 64-bit key without the
-// host ever naming their types -- which keeps low-level containers (graph/)
-// free of dependencies on the subsystems built on top of them.
+// A Graph's adjacency is immutable between mutations, so structures derived
+// from it (the edge partition plan, and later sharding/batching metadata)
+// can be computed once and reused across embed() calls. The host owns one
+// AuxCache; derived modules stash their artifacts under a module-chosen
+// 64-bit key without the host ever naming their types -- which keeps
+// low-level containers (graph/) free of dependencies on the subsystems
+// built on top of them.
+//
+// Invalidation contract: a host that mutates the data its cached artifacts
+// were derived from must DETACH -- replace its AuxCache pointer with a
+// fresh cache (see Graph::rebuild) -- rather than clear() a shared one.
+// Copies of the pre-mutation host share both the old cache and the old
+// underlying data, so detaching keeps every (data, cache) pairing
+// consistent while clear() would orphan the copies' artifacts.
 //
 // Concurrency: find/insert are mutex-guarded; insert is first-writer-wins so
 // two threads racing to build the same artifact converge on one copy.

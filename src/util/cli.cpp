@@ -103,6 +103,18 @@ double ArgParser::get_double(const std::string& name) const {
   return std::stod(get(name));
 }
 
+std::vector<std::int64_t> ArgParser::get_int_list(
+    const std::string& name) const {
+  std::vector<std::int64_t> values;
+  const std::string raw = get(name);
+  std::string item;
+  std::istringstream is(raw);
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) values.push_back(std::stoll(item));
+  }
+  return values;
+}
+
 bool ArgParser::get_flag(const std::string& name) const {
   if (auto it = values_.find(name); it != values_.end()) return it->second == "1";
   return false;

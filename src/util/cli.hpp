@@ -48,6 +48,10 @@ class ArgParser {
   [[nodiscard]] std::int64_t get_int(const std::string& name) const;
   [[nodiscard]] double get_double(const std::string& name) const;
   [[nodiscard]] bool get_flag(const std::string& name) const;
+  /// Comma-separated integer list, e.g. --batch-sizes 1,100,10000.
+  /// Empty value -> empty list; malformed entries throw like get_int.
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      const std::string& name) const;
 
   [[nodiscard]] std::string usage() const;
 

@@ -99,6 +99,77 @@ TEST(IncrementalGee, ParallelStreamMatchesSerial) {
   EXPECT_LT(max_abs_diff(inc.embedding(), batch.z), 1e-10);
 }
 
+TEST(IncrementalGee, WeightedDuplicateEdgesRemoveToParity) {
+  // Parallel edges with distinct weights between the same endpoints:
+  // removal must subtract exactly the copy it names, leaving the other
+  // copies' mass -- verified against a batch rebuild of the remainder.
+  const auto y = gee::gen::semi_supervised_labels(40, 3, 0.6, 25);
+  EdgeList el(40);
+  el.add(1, 2, 0.5f);
+  el.add(1, 2, 2.0f);  // duplicate pair, different weight
+  el.add(1, 2, 2.0f);  // exact duplicate
+  el.add(3, 4, 1.25f);
+  el.add(5, 5, 3.0f);  // weighted self-loop
+
+  IncrementalGee inc(y);
+  inc.add_edges(el);
+  inc.remove_edge(1, 2, 2.0f);
+  inc.remove_edge(5, 5, 3.0f);
+
+  EdgeList remaining(40);
+  remaining.add(1, 2, 0.5f);
+  remaining.add(1, 2, 2.0f);
+  remaining.add(3, 4, 1.25f);
+  const auto batch =
+      embed_edges(remaining, y, {.backend = Backend::kCompiledSerial});
+  EXPECT_LT(max_abs_diff(inc.embedding(), batch.z), 1e-12);
+}
+
+TEST(IncrementalGee, RemovingEverythingLeavesNearZero) {
+  const auto el = random_edges(150, 2000, 27);
+  const auto y = gee::gen::semi_supervised_labels(150, 5, 0.4, 29);
+  IncrementalGee inc(y);
+  inc.add_edges(el);
+  inc.remove_edges(el);
+  EXPECT_EQ(inc.edges_applied(), 0u);
+  // Exact inverse in real arithmetic; floating point leaves ~ulp residue.
+  const Embedding zero(150, inc.projection().num_classes);
+  EXPECT_LT(max_abs_diff(inc.embedding(), zero), 1e-10);
+}
+
+TEST(IncrementalGee, EdgesAppliedBookkeeping) {
+  const std::vector<std::int32_t> y{0, 1, 0};
+  IncrementalGee inc(y);
+  inc.add_edge(0, 1);
+  inc.add_edge(1, 2);
+  inc.add_edge(0, 2, 2.0f);
+  EXPECT_EQ(inc.edges_applied(), 3u);
+  inc.remove_edge(0, 2, 2.0f);
+  EXPECT_EQ(inc.edges_applied(), 2u);
+}
+
+TEST(IncrementalGee, WeightedRemovalFromBatchSeedMatchesRebuild) {
+  // Seed from a parallel batch result, then stream weighted removals: the
+  // mixed path (batch seed + incremental removal) must agree with a full
+  // rebuild over the remainder.
+  const auto el = random_edges(200, 3000, 31);
+  const auto y = gee::gen::semi_supervised_labels(200, 6, 0.3, 33);
+  auto batch = embed_edges(el, y, {.backend = Backend::kLigraParallel});
+  IncrementalGee inc(std::move(batch), y);
+
+  EdgeList remaining(200);
+  for (EdgeId e = 0; e < el.num_edges(); ++e) {
+    if (e % 2 == 0) {
+      inc.remove_edge(el.src(e), el.dst(e), el.weight(e));
+    } else {
+      remaining.add(el.src(e), el.dst(e), el.weight(e));
+    }
+  }
+  const auto rebuilt =
+      embed_edges(remaining, y, {.backend = Backend::kCompiledSerial});
+  EXPECT_LT(max_abs_diff(inc.embedding(), rebuilt.z), 1e-9);
+}
+
 TEST(OutOfSample, MatchesInSampleRow) {
   // Build a graph where vertex 0's row comes only from source-side updates
   // (0 is unlabeled so it donates nothing), then recompute 0's row
@@ -131,6 +202,49 @@ TEST(OutOfSample, UnlabeledNeighborsContributeNothing) {
   EXPECT_DOUBLE_EQ(row[0], 0.0);
   EXPECT_DOUBLE_EQ(row[1], 0.0);
   EXPECT_DOUBLE_EQ(row[2], 2.0);  // only the labeled neighbor
+}
+
+TEST(OutOfSample, WeightedNeighborsWithDuplicatesMatchBatchRow) {
+  // Weighted out-of-sample path, including a repeated neighbor (a
+  // multigraph neighbor list): the embedding row must equal the batch
+  // row of an unlabeled in-sample vertex with the same incident edges.
+  const VertexId n = 60;
+  auto y = gee::gen::semi_supervised_labels(n, 4, 0.5, 35);
+  y[0] = -1;
+  EdgeList el(n);
+  std::vector<std::pair<VertexId, Weight>> neighbors;
+  const std::pair<VertexId, Weight> incident[] = {
+      {7, 0.25f}, {11, 2.0f}, {7, 0.25f}, {23, 1.5f}};
+  for (const auto& [v, w] : incident) {
+    el.add(0, v, w);
+    neighbors.emplace_back(v, w);
+  }
+  const auto batch = embed_edges(el, y, {.backend = Backend::kCompiledSerial});
+  const auto projection = build_projection(y);
+  const auto row = embed_out_of_sample(projection, y, neighbors);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NEAR(row[static_cast<std::size_t>(c)], batch.z.at(0, c), 1e-12);
+  }
+}
+
+TEST(OutOfSample, RowTracksRemovalViaNeighborList) {
+  // Parity-vs-rebuild for the out-of-sample path under removal: dropping
+  // an edge from the neighbor list equals the batch row of the remainder.
+  const VertexId n = 50;
+  auto y = gee::gen::semi_supervised_labels(n, 3, 0.7, 37);
+  y[0] = -1;
+  EdgeList remaining(n);
+  remaining.add(0, 9, 1.5f);
+  remaining.add(0, 17, 0.5f);
+  const std::vector<std::pair<VertexId, Weight>> neighbors{{9, 1.5f},
+                                                           {17, 0.5f}};
+  const auto batch =
+      embed_edges(remaining, y, {.backend = Backend::kCompiledSerial});
+  const auto projection = build_projection(y);
+  const auto row = embed_out_of_sample(projection, y, neighbors);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_NEAR(row[static_cast<std::size_t>(c)], batch.z.at(0, c), 1e-12);
+  }
 }
 
 TEST(OutOfSample, RejectsBadNeighbor) {

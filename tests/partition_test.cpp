@@ -165,6 +165,87 @@ TEST(Partitioner, PlanIsCachedOnTheGraph) {
   EXPECT_EQ(a.get(), d.get());
 }
 
+// Regression: cached partition plans must not survive graph mutation. A
+// plan built before Graph::rebuild described the OLD adjacency; the
+// mutation hook detaches the graph from its AuxCache so the next lookup
+// partitions the new arcs, while pre-mutation copies keep the old
+// (cache, CSR) pairing.
+TEST(Partitioner, GraphMutationInvalidatesCachedPlans) {
+  const auto el = gee::gen::erdos_renyi_gnm(200, 2000, 31);
+  Graph g = Graph::build(el, GraphKind::kUndirected);
+  const Graph copy = g;  // shares cache AND adjacency pre-mutation
+  const auto stale = gee::partition::plan_for(g, UpdateSides::kDestOnly, 4);
+  EXPECT_EQ(g.generation(), 0u);
+
+  const auto smaller = gee::gen::erdos_renyi_gnm(200, 500, 37);
+  g.rebuild(smaller, GraphKind::kUndirected);
+  EXPECT_EQ(g.generation(), 1u);
+
+  const auto fresh = gee::partition::plan_for(g, UpdateSides::kDestOnly, 4);
+  EXPECT_NE(stale.get(), fresh.get())
+      << "plan cached on the pre-mutation adjacency leaked through rebuild";
+  EXPECT_EQ(fresh->num_entries(), g.num_arcs());
+  EXPECT_EQ(stale->num_entries(), copy.num_arcs());
+
+  // The pre-mutation copy still pairs the old adjacency with the old plan.
+  EXPECT_NE(copy.num_arcs(), g.num_arcs());
+  EXPECT_EQ(copy.generation(), 0u);
+  const auto held =
+      gee::partition::plan_for(copy, UpdateSides::kDestOnly, 4);
+  EXPECT_EQ(held.get(), stale.get());
+
+  // Embedding through the partitioned backend after mutation matches the
+  // serial reference on the NEW adjacency (the end-to-end staleness bug).
+  const auto labels = gee::gen::semi_supervised_labels(200, 4, 0.5, 41);
+  const auto serial =
+      embed(g, labels, {.backend = Backend::kCompiledSerial});
+  const auto partitioned =
+      embed(g, labels, {.backend = Backend::kPartitioned});
+  EXPECT_EQ(max_abs_diff(partitioned.z, serial.z), 0.0);
+}
+
+// ------------------------------------------------------ sparse delta plans
+
+TEST(Partitioner, DeltaPlanMatchesDensePlanSemantics) {
+  const auto el = with_random_weights(
+      gee::gen::erdos_renyi_gnm(300, 4000, 43), 47);
+  for (const int blocks : {1, 3, 8}) {
+    const auto dense = gee::partition::build_plan(el, blocks);
+    const auto sparse = gee::partition::build_delta_plan(el, blocks);
+    EXPECT_EQ(sparse.num_blocks, blocks);
+    EXPECT_EQ(sparse.num_entries(), dense.num_entries());
+    EXPECT_EQ(sparse.num_vertices(), el.num_vertices());
+
+    // Ownership invariant: every entry's row inside its block's range.
+    for (int p = 0; p < blocks; ++p) {
+      const auto block = sparse.block(p);
+      for (const VertexId row : block.rows) {
+        EXPECT_GE(row, block.row_lo);
+        EXPECT_LT(row, block.row_hi);
+      }
+    }
+  }
+}
+
+TEST(Partitioner, DeltaPlanHandlesEmptyAndSignedWeights) {
+  EdgeList empty(10);
+  const auto plan = gee::partition::build_delta_plan(empty, 4);
+  EXPECT_EQ(plan.num_entries(), 0u);
+  EXPECT_EQ(plan.num_vertices(), 10u);
+
+  EdgeList deltas(8);
+  deltas.add(1, 2, 1.5f);
+  deltas.add(2, 1, -1.5f);  // removal delta: negative weight passes through
+  deltas.add(7, 7, 2.0f);
+  const auto signed_plan = gee::partition::build_delta_plan(deltas, 2);
+  EXPECT_EQ(signed_plan.num_entries(), 6u);
+  double net = 0;
+  for (int p = 0; p < signed_plan.num_blocks; ++p) {
+    for (const Weight w : signed_plan.block(p).weights) net += w;
+  }
+  EXPECT_DOUBLE_EQ(net, 4.0);  // +-1.5 cancels twice; the loop counts 2x2.0
+}
+
 TEST(Partitioner, ResolveNumBlocks) {
   EXPECT_EQ(gee::partition::resolve_num_blocks(5), 5);
   EXPECT_GE(gee::partition::resolve_num_blocks(0), 1);

@@ -1,0 +1,463 @@
+// Tests for the streaming dynamic-graph subsystem (src/stream/):
+// UpdateBatch coalescing, DynamicGee batch application (serial and
+// partitioned paths), epoch snapshots under a concurrent writer, and the
+// drift-rebuild contract. The replay tests are the PR's acceptance
+// criterion: any generated graph, replayed in B batches, must land within
+// 1e-5 max-abs of the one-shot batch embedding.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "gee/gee.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/labels.hpp"
+#include "gen/rmat.hpp"
+#include "gen/sbm.hpp"
+#include "graph/edge_list.hpp"
+#include "stream/dynamic_gee.hpp"
+#include "stream/update_batch.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gee;
+using core::Backend;
+using core::Embedding;
+using core::Options;
+using graph::EdgeId;
+using graph::EdgeList;
+using graph::VertexId;
+using graph::Weight;
+using stream::DynamicGee;
+using stream::UpdateBatch;
+
+EdgeList with_random_weights(const EdgeList& el, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  EdgeList weighted(el.num_vertices());
+  for (EdgeId e = 0; e < el.num_edges(); ++e) {
+    weighted.add(el.src(e), el.dst(e),
+                 static_cast<Weight>(1 + rng.next_below(5)) * 0.5f);
+  }
+  return weighted;
+}
+
+/// Stream `el` into a fresh DynamicGee in `num_batches` contiguous slices.
+/// (Heap-allocated: DynamicGee owns a mutex and does not move.)
+std::unique_ptr<DynamicGee> replay(const EdgeList& el,
+                                   std::span<const std::int32_t> labels,
+                                   int num_batches, const Options& options) {
+  auto dg = std::make_unique<DynamicGee>(labels, options);
+  const EdgeId m = el.num_edges();
+  for (int b = 0; b < num_batches; ++b) {
+    const EdgeId lo = m * static_cast<EdgeId>(b) / num_batches;
+    const EdgeId hi = m * static_cast<EdgeId>(b + 1) / num_batches;
+    UpdateBatch batch;
+    for (EdgeId e = lo; e < hi; ++e) {
+      batch.add(el.src(e), el.dst(e), el.weight(e));
+    }
+    dg->apply(batch);
+  }
+  return dg;
+}
+
+// ------------------------------------------------------------ UpdateBatch
+
+TEST(UpdateBatch, CoalescesToNetDeltas) {
+  UpdateBatch batch;
+  batch.add(3, 1, 2.0f);     // canonicalizes to (1, 3)
+  batch.add(1, 3, 1.0f);     // merges with the previous entry
+  batch.remove(1, 3, 0.5f);
+  batch.add(0, 2);
+  batch.remove(0, 2);        // exact churn: nets to nothing
+  batch.add(4, 4, 1.5f);     // self-loop survives canonicalization
+
+  EXPECT_EQ(batch.size(), 6u);
+  EXPECT_EQ(batch.num_adds(), 4u);
+  EXPECT_EQ(batch.num_removes(), 2u);
+  EXPECT_EQ(batch.max_vertex(), 4u);
+
+  const auto deltas = batch.coalesce();
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_EQ(deltas[0].u, 1u);
+  EXPECT_EQ(deltas[0].v, 3u);
+  EXPECT_FLOAT_EQ(deltas[0].weight, 2.5f);
+  EXPECT_EQ(deltas[0].count, 1);
+  EXPECT_EQ(deltas[1].u, 4u);
+  EXPECT_EQ(deltas[1].v, 4u);
+  EXPECT_FLOAT_EQ(deltas[1].weight, 1.5f);
+  EXPECT_EQ(deltas[1].count, 1);
+}
+
+TEST(UpdateBatch, Validation) {
+  UpdateBatch batch;
+  EXPECT_THROW(batch.add(0, 1, 0.0f), std::invalid_argument);
+  EXPECT_THROW(batch.add(0, 1, -1.0f), std::invalid_argument);
+  EXPECT_THROW(batch.remove(0, 1, 0.0f), std::invalid_argument);
+  batch.add(0, 9);
+  EXPECT_THROW(batch.validate(9), std::out_of_range);
+  EXPECT_NO_THROW(batch.validate(10));
+}
+
+// -------------------------------------------------- acceptance: replay
+
+struct ReplayCase {
+  const char* name;
+  EdgeList edges;
+  std::vector<std::int32_t> labels;
+};
+
+std::vector<ReplayCase> replay_cases() {
+  std::vector<ReplayCase> cases;
+
+  auto sbm = gen::sbm(gen::SbmParams::balanced(240, 4, 0.10, 0.01), 7);
+  cases.push_back({"sbm", sbm.edges, sbm.labels});
+  cases.push_back({"sbm-weighted", with_random_weights(sbm.edges, 11),
+                   sbm.labels});
+
+  auto rmat = gen::rmat_approx(256, 2500, 13);
+  auto rmat_labels = gen::semi_supervised_labels(rmat.num_vertices(), 6,
+                                                 0.3, 17);
+  cases.push_back({"rmat", rmat, rmat_labels});
+  cases.push_back({"rmat-weighted", with_random_weights(rmat, 19),
+                   rmat_labels});
+
+  auto er = gen::erdos_renyi_gnm(300, 3000, 23);
+  auto er_labels = gen::semi_supervised_labels(er.num_vertices(), 5, 0.4, 29);
+  cases.push_back({"er", er, er_labels});
+  cases.push_back({"er-weighted", with_random_weights(er, 31), er_labels});
+
+  return cases;
+}
+
+TEST(DynamicGee, ReplayMatchesOneShotBatch) {
+  for (auto& c : replay_cases()) {
+    const auto reference =
+        core::embed_edges(c.edges, c.labels, {.backend =
+                                              Backend::kCompiledSerial});
+    for (const int num_batches : {1, 7, 64}) {
+      // Default options: small slices take the serial incremental path.
+      // Threshold 0 forces every batch through the partitioned path.
+      for (const std::int64_t threshold : {std::int64_t{1} << 40,
+                                           std::int64_t{0}}) {
+        Options options;
+        options.stream_parallel_threshold = threshold;
+        const auto dg = replay(c.edges, c.labels, num_batches, options);
+        const auto snap = dg->snapshot();
+        EXPECT_LT(core::max_abs_diff(*snap.z, reference.z), 1e-5)
+            << c.name << " B=" << num_batches << " threshold=" << threshold;
+        EXPECT_EQ(snap.epoch, dg->epoch());
+      }
+    }
+  }
+}
+
+TEST(DynamicGee, SerialAndPartitionedPathsBitwiseEqual) {
+  const auto er = gen::erdos_renyi_gnm(200, 4000, 37);
+  const auto labels = gen::semi_supervised_labels(200, 5, 0.5, 41);
+  Options serial_options;
+  serial_options.stream_parallel_threshold = std::int64_t{1} << 40;
+  Options partitioned_options;
+  partitioned_options.stream_parallel_threshold = 0;
+  partitioned_options.partition_blocks = 5;  // > 1 block even on 1 thread
+
+  const auto a = replay(er, labels, 9, serial_options);
+  const auto b = replay(er, labels, 9, partitioned_options);
+  EXPECT_EQ(core::max_abs_diff(*a->snapshot().z, *b->snapshot().z), 0.0);
+}
+
+TEST(DynamicGee, SeededFromInitialEdgeList) {
+  const auto el = with_random_weights(gen::erdos_renyi_gnm(150, 2000, 43), 47);
+  const auto labels = gen::semi_supervised_labels(150, 4, 0.4, 53);
+
+  // Seed with the first half, stream the second half.
+  EdgeList head(150), tail(150);
+  for (EdgeId e = 0; e < el.num_edges(); ++e) {
+    (e < el.num_edges() / 2 ? head : tail)
+        .add(el.src(e), el.dst(e), el.weight(e));
+  }
+  DynamicGee dg(head, labels);
+  EXPECT_EQ(dg.num_live_edges(), head.num_edges());
+  UpdateBatch batch;
+  for (EdgeId e = 0; e < tail.num_edges(); ++e) {
+    batch.add(tail.src(e), tail.dst(e), tail.weight(e));
+  }
+  dg.apply(batch);
+
+  const auto reference =
+      core::embed_edges(el, labels, {.backend = Backend::kCompiledSerial});
+  EXPECT_LT(core::max_abs_diff(*dg.snapshot().z, reference.z), 1e-5);
+  EXPECT_EQ(dg.num_live_edges(), el.num_edges());
+}
+
+// ------------------------------------------------- removals and rebuilds
+
+TEST(DynamicGee, RemovalsTrackBatchOverRemainder) {
+  const auto el = with_random_weights(gen::erdos_renyi_gnm(120, 1500, 59), 61);
+  const auto labels = gen::semi_supervised_labels(120, 4, 0.5, 67);
+
+  Options options;
+  options.stream_rebuild_drift = 0;  // isolate pure incremental removal
+  DynamicGee dg(el, labels, options);
+
+  EdgeList remaining(120);
+  UpdateBatch removals;
+  for (EdgeId e = 0; e < el.num_edges(); ++e) {
+    if (e % 4 == 0) {
+      removals.remove(el.src(e), el.dst(e), el.weight(e));
+    } else {
+      remaining.add(el.src(e), el.dst(e), el.weight(e));
+    }
+  }
+  const auto report = dg.apply(removals);
+  EXPECT_FALSE(report.rebuilt);
+
+  const auto reference = core::embed_edges(remaining, labels,
+                                           {.backend =
+                                            Backend::kCompiledSerial});
+  EXPECT_LT(core::max_abs_diff(*dg.snapshot().z, reference.z), 1e-5);
+  EXPECT_EQ(dg.num_live_edges(), remaining.num_edges());
+}
+
+TEST(DynamicGee, DriftTriggersRebuild) {
+  const auto el = gen::erdos_renyi_gnm(100, 1200, 71);
+  const auto labels = gen::semi_supervised_labels(100, 4, 0.5, 73);
+
+  Options options;
+  options.stream_rebuild_drift = 0.25;
+  DynamicGee dg(el, labels, options);
+
+  UpdateBatch removals;  // remove ~40% of live edges: over the 25% fraction
+  EdgeList remaining(100);
+  for (EdgeId e = 0; e < el.num_edges(); ++e) {
+    if (e % 5 < 2) {
+      removals.remove(el.src(e), el.dst(e), el.weight(e));
+    } else {
+      remaining.add(el.src(e), el.dst(e), el.weight(e));
+    }
+  }
+  const auto report = dg.apply(removals);
+  EXPECT_TRUE(report.rebuilt);
+  EXPECT_EQ(dg.stats().rebuilds, 1u);
+  EXPECT_EQ(dg.stats().removed_since_rebuild, 0u);
+  // Rebuild publishes its own epoch on top of the batch's.
+  EXPECT_EQ(report.epoch, 2u);
+
+  const auto reference = core::embed_edges(remaining, labels,
+                                           {.backend =
+                                            Backend::kCompiledSerial});
+  EXPECT_LT(core::max_abs_diff(*dg.snapshot().z, reference.z), 1e-5);
+}
+
+TEST(DynamicGee, RejectsRemovalOfAbsentEdge) {
+  const std::vector<std::int32_t> labels{0, 1, 0, 1};
+  DynamicGee dg(labels);
+  UpdateBatch first;
+  first.add(0, 1);
+  dg.apply(first);
+
+  const auto before = dg.snapshot();
+  UpdateBatch bad;
+  bad.add(2, 3);
+  bad.remove(0, 2);  // never added
+  EXPECT_THROW(dg.apply(bad), std::invalid_argument);
+  // A throwing apply publishes nothing and mutates nothing.
+  EXPECT_EQ(dg.epoch(), before.epoch);
+  EXPECT_EQ(dg.num_live_edges(), 1u);
+  EXPECT_EQ(core::max_abs_diff(*dg.snapshot().z, *before.z), 0.0);
+}
+
+TEST(DynamicGee, RejectsWhatStreamingCannotMaintain) {
+  const std::vector<std::int32_t> labels{0, 1};
+  EXPECT_THROW(DynamicGee(labels, Options{.laplacian = true}),
+               std::invalid_argument);
+  EXPECT_THROW(DynamicGee(labels, Options{.diag_augment = true}),
+               std::invalid_argument);
+  EXPECT_THROW(DynamicGee(labels, Options{.correlation = true}),
+               std::invalid_argument);
+  EXPECT_THROW(DynamicGee(std::vector<std::int32_t>{-1, -1}),
+               std::invalid_argument);
+
+  DynamicGee dg(labels);
+  UpdateBatch out_of_range;
+  out_of_range.add(0, 7);
+  EXPECT_THROW(dg.apply(out_of_range), std::out_of_range);
+}
+
+// ------------------------------------------------------ epoch snapshots
+
+TEST(DynamicGee, SnapshotsAreImmutableAndStalenessCounts) {
+  const std::vector<std::int32_t> labels{0, 1, 0, 1};
+  DynamicGee dg(labels);
+
+  const auto s0 = dg.snapshot();
+  EXPECT_EQ(s0.epoch, 0u);
+  EXPECT_DOUBLE_EQ(s0->at(0, 1), 0.0);
+
+  UpdateBatch batch;
+  batch.add(0, 1, 2.0f);
+  dg.apply(batch);
+
+  // The old snapshot still reads the pre-apply state. The new epoch holds
+  // W(1) * w = (1/2) * 2 at Z(0, 1): class 1 = {1, 3} has two members.
+  EXPECT_DOUBLE_EQ(s0->at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(dg.snapshot()->at(0, 1), 1.0);
+  EXPECT_EQ(dg.staleness(s0), 1u);
+  EXPECT_EQ(dg.staleness(dg.snapshot()), 0u);
+
+  for (int i = 0; i < 3; ++i) {
+    UpdateBatch more;
+    more.add(2, 3);
+    dg.apply(more);
+  }
+  EXPECT_EQ(dg.staleness(s0), 4u);
+}
+
+TEST(DynamicGee, PooledBuffersPromoteByDeltaReplay) {
+  const auto el = gen::erdos_renyi_gnm(80, 600, 79);
+  const auto labels = gen::semi_supervised_labels(80, 3, 0.5, 83);
+  const auto reference_base =
+      core::embed_edges(el, labels, {.backend = Backend::kCompiledSerial});
+
+  DynamicGee dg(el, labels);
+  {
+    // A held snapshot forces the writer onto a second buffer...
+    const auto held = dg.snapshot();
+    UpdateBatch batch;
+    batch.add(0, 1);
+    dg.apply(batch);
+    EXPECT_EQ(core::max_abs_diff(*held.z, reference_base.z), 0.0);
+  }
+  // ...and its release returns buffer 1; these applies recycle the two
+  // buffers through the delta-replay promotion path.
+  for (int i = 0; i < 6; ++i) {
+    UpdateBatch batch;
+    batch.add(static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
+    dg.apply(batch);
+  }
+  EXPECT_GT(dg.stats().buffer_promotions, 0u);
+
+  EdgeList extended = el;
+  extended.add(0, 1);
+  for (int i = 0; i < 6; ++i) {
+    extended.add(static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
+  }
+  const auto reference = core::embed_edges(extended, labels,
+                                           {.backend =
+                                            Backend::kCompiledSerial});
+  EXPECT_LT(core::max_abs_diff(*dg.snapshot().z, reference.z), 1e-10);
+}
+
+TEST(DynamicGee, DeeplyStaleBufferFallsBackToFullCopy) {
+  const std::vector<std::int32_t> labels{0, 1, 0, 1, 0, 1};
+  DynamicGee dg(labels);
+  EdgeList applied(6);
+
+  const auto copies_before = dg.stats().buffer_copies;
+  {
+    const auto held = dg.snapshot();  // pins buffer 0 at epoch 0
+    // More applies than the delta log retains: when the held buffer
+    // finally returns to the pool it cannot be promoted by replay.
+    for (int i = 0; i < 24; ++i) {
+      UpdateBatch batch;
+      const auto u = static_cast<VertexId>(i % 5);
+      batch.add(u, u + 1);
+      applied.add(u, u + 1);
+      dg.apply(batch);
+    }
+  }
+  for (int i = 0; i < 2; ++i) {
+    UpdateBatch batch;
+    batch.add(0, 1);
+    applied.add(0, 1);
+    dg.apply(batch);
+  }
+  EXPECT_GT(dg.stats().buffer_copies, copies_before);
+
+  const auto reference = core::embed_edges(applied, labels,
+                                           {.backend =
+                                            Backend::kCompiledSerial});
+  EXPECT_LT(core::max_abs_diff(*dg.snapshot().z, reference.z), 1e-10);
+}
+
+// The new risk surface of this PR: reader snapshots racing the writer's
+// apply. Run under TSan in CI (see .github/workflows/ci.yml).
+TEST(DynamicGee, ConcurrentReadersSeeConsistentSnapshots) {
+  const VertexId n = 64;
+  const auto labels = gen::semi_supervised_labels(n, 4, 0.5, 89);
+  DynamicGee dg(labels);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> snapshots_taken{0};
+  auto reader = [&] {
+    std::uint64_t last_epoch = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const auto snap = dg.snapshot();
+      // Epochs never go backwards for a single reader.
+      EXPECT_GE(snap.epoch, last_epoch);
+      last_epoch = snap.epoch;
+      // A snapshot is frozen: two reads of the same cell agree even while
+      // the writer publishes new epochs.
+      const double first = snap->at(0, 1);
+      double sum = 0;
+      for (VertexId v = 0; v < n; ++v) sum += snap->at(v, 1);
+      EXPECT_EQ(snap->at(0, 1), first);
+      (void)sum;
+      snapshots_taken.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::thread r1(reader), r2(reader);
+
+  util::Xoshiro256 rng(97);
+  EdgeList applied(n);
+  for (int b = 0; b < 400; ++b) {
+    UpdateBatch batch;
+    for (int i = 0; i < 8; ++i) {
+      const auto u = static_cast<VertexId>(rng.next_below(n));
+      const auto v = static_cast<VertexId>(rng.next_below(n));
+      batch.add(u, v);
+      applied.add(u, v);
+    }
+    dg.apply(batch);
+    if (b % 16 == 0) std::this_thread::yield();  // 1-core boxes: let readers run
+  }
+  // Keep readers sampling the (now quiescent) stream until they have
+  // demonstrably overlapped with it; on a single core the writer can
+  // otherwise finish before a reader is first scheduled.
+  while (snapshots_taken.load(std::memory_order_relaxed) < 16) {
+    std::this_thread::yield();
+  }
+  done.store(true, std::memory_order_release);
+  r1.join();
+  r2.join();
+  EXPECT_GT(snapshots_taken.load(), 0u);
+
+  const auto reference = core::embed_edges(applied, labels,
+                                           {.backend =
+                                            Backend::kCompiledSerial});
+  EXPECT_LT(core::max_abs_diff(*dg.snapshot().z, reference.z), 1e-9);
+  EXPECT_EQ(dg.epoch(), 400u);
+}
+
+TEST(DynamicGee, EmptyAndChurnOnlyBatchesPublishNothing) {
+  const std::vector<std::int32_t> labels{0, 1};
+  DynamicGee dg(labels);
+  UpdateBatch empty;
+  auto report = dg.apply(empty);
+  EXPECT_EQ(report.epoch, 0u);
+
+  UpdateBatch churn;
+  churn.add(0, 1, 2.0f);
+  churn.remove(0, 1, 2.0f);
+  report = dg.apply(churn);
+  EXPECT_EQ(report.raw_ops, 2u);
+  EXPECT_EQ(report.deltas, 0u);
+  EXPECT_EQ(dg.epoch(), 0u);
+  EXPECT_EQ(dg.num_live_edges(), 0u);
+}
+
+}  // namespace
