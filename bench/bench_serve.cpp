@@ -1,0 +1,142 @@
+// Serving bench -- QueryEngine queries/sec by batch size, serial versus
+// parallel fan-out.
+//
+// The question this answers: at what batch size does fanning a query span
+// across threads beat answering it inline? Each out-of-sample reply is an
+// independent O(fanout + K) row synthesis, so the batch is embarrassingly
+// parallel -- but a reply is also tiny, so the fork/join overhead of the
+// parallel_for wrappers must amortize across the batch. The in-sample
+// column shows the same trade for pure row copies (memory-bound, even
+// cheaper per reply).
+//
+// Scaling contract (DESIGN.md section 4): GEE_BENCH_SCALE divides the
+// base graph; --batch-sizes overrides the sweep.
+#include "bench/common.hpp"
+
+#include <string>
+#include <vector>
+
+#include "serve/query_engine.hpp"
+#include "serve/request.hpp"
+#include "stream/dynamic_gee.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using gee::graph::EdgeId;
+using gee::graph::VertexId;
+using gee::graph::Weight;
+using gee::serve::QueryEngine;
+using gee::serve::VertexQuery;
+
+std::vector<VertexQuery> random_queries(VertexId n, std::size_t count,
+                                        std::size_t fanout,
+                                        gee::util::Xoshiro256& rng) {
+  std::vector<VertexQuery> queries(count);
+  for (auto& q : queries) {
+    q.neighbors.reserve(fanout);
+    for (std::size_t j = 0; j < fanout; ++j) {
+      q.neighbors.emplace_back(static_cast<VertexId>(rng.next_below(n)),
+                               static_cast<Weight>(1 + rng.next_below(4)));
+    }
+  }
+  return queries;
+}
+
+/// Best-of-repeats replies/sec pushing `queries` through `engine` in
+/// batch-size chunks.
+double query_rate(const QueryEngine& engine,
+                  const std::vector<VertexQuery>& queries,
+                  std::size_t batch_size) {
+  double best = 0;
+  for (int r = 0; r < gee::bench::repeats(); ++r) {
+    gee::util::Timer timer;
+    std::size_t answered = 0;
+    for (std::size_t lo = 0; lo < queries.size(); lo += batch_size) {
+      const std::size_t hi = std::min(queries.size(), lo + batch_size);
+      answered += engine
+                      .query_batch(std::span(queries).subspan(lo, hi - lo))
+                      .size();
+    }
+    best = std::max(best, static_cast<double>(answered) / timer.seconds());
+  }
+  return best;
+}
+
+double lookup_rate(const QueryEngine& engine, VertexId n,
+                   std::size_t batch_size, std::size_t total) {
+  gee::util::Xoshiro256 rng(99);
+  std::vector<VertexId> ids(total);
+  for (auto& v : ids) v = static_cast<VertexId>(rng.next_below(n));
+  double best = 0;
+  for (int r = 0; r < gee::bench::repeats(); ++r) {
+    gee::util::Timer timer;
+    std::size_t answered = 0;
+    for (std::size_t lo = 0; lo < ids.size(); lo += batch_size) {
+      const std::size_t hi = std::min(ids.size(), lo + batch_size);
+      answered +=
+          engine.lookup_batch(std::span(ids).subspan(lo, hi - lo)).size();
+    }
+    best = std::max(best, static_cast<double>(answered) / timer.seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace bench = gee::bench;
+
+  gee::util::ArgParser args("bench_serve",
+                            "QueryEngine queries/sec: serial vs parallel "
+                            "fan-out by batch size");
+  args.add_option("batch-sizes", "comma-separated query batch sizes",
+                  "1,16,256,4096");
+  args.add_option("queries", "out-of-sample queries per measurement",
+                  "16384");
+  args.add_option("fanout", "neighbors per out-of-sample query", "16");
+  args.add_option("edge-factor", "base-graph edges per vertex", "8");
+  if (!args.parse(argc, argv)) return 1;
+
+  const auto d = bench::scale_denominator();
+  const auto n = static_cast<VertexId>(2e6 / static_cast<double>(d));
+  const auto m = n * static_cast<EdgeId>(args.get_int("edge-factor"));
+
+  gee::util::log_info("serve bench: R-MAT base graph n=" + std::to_string(n) +
+                      " m=" + std::to_string(m));
+  const auto base = gee::gen::rmat_approx(n, m, 7);
+  const auto labels = gee::gen::semi_supervised_labels(
+      n, bench::kNumClasses, bench::kLabelFraction, 11);
+  const gee::stream::DynamicGee dg(base, labels);
+
+  gee::core::Options serial_options;
+  serial_options.num_threads = 1;
+  const QueryEngine serial(dg, serial_options);
+  const QueryEngine parallel(dg);  // num_threads 0: current OpenMP width
+
+  gee::util::Xoshiro256 rng(13);
+  const auto queries = random_queries(
+      n, static_cast<std::size_t>(args.get_int("queries")),
+      static_cast<std::size_t>(args.get_int("fanout")), rng);
+
+  gee::util::TextTable table(
+      "serving -- replies/sec by query batch size (higher is better)");
+  table.set_header({"batch", "oos serial q/s", "oos parallel q/s", "speedup",
+                    "lookup parallel q/s"});
+  for (const std::int64_t b : args.get_int_list("batch-sizes")) {
+    const auto batch = static_cast<std::size_t>(std::max<std::int64_t>(1, b));
+    const double s = query_rate(serial, queries, batch);
+    const double p = query_rate(parallel, queries, batch);
+    table.begin_row();
+    table.cell(static_cast<long long>(batch));
+    table.cell(s, 0);
+    table.cell(p, 0);
+    table.cell(p / s, 2);
+    table.cell(lookup_rate(parallel, n, batch, queries.size()), 0);
+  }
+
+  bench::emit(table, "serve_queries.csv");
+  return 0;
+}

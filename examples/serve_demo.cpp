@@ -1,0 +1,168 @@
+// serve_demo -- the serving subsystem end to end: one writer streams
+// update batches into a DynamicGee while reader threads hammer a
+// QueryEngine with mixed out-of-sample query batches and in-sample
+// lookups. Reports read QPS, write throughput, and the staleness
+// histogram the serve_max_staleness bound produced -- the knob to play
+// with: 0 pins every batch to the freshest epoch (every read batch takes
+// the writer's publication lock), larger bounds trade bounded staleness
+// for pins that never contend with the writer.
+//
+//   ./examples/serve_demo --rounds 400 --readers 2 --max-staleness 4
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/labels.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/request.hpp"
+#include "stream/dynamic_gee.hpp"
+#include "stream/update_batch.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using gee::graph::EdgeId;
+using gee::graph::VertexId;
+using gee::graph::Weight;
+
+struct ReaderTally {
+  std::uint64_t replies = 0;
+  /// Staleness histogram: buckets 0, 1, 2, 3-4, 5-8, 9+.
+  std::uint64_t staleness[6] = {0, 0, 0, 0, 0, 0};
+
+  static std::size_t bucket(std::uint64_t s) {
+    if (s <= 2) return static_cast<std::size_t>(s);
+    if (s <= 4) return 3;
+    if (s <= 8) return 4;
+    return 5;
+  }
+  void count(std::uint64_t s) {
+    ++replies;
+    ++staleness[bucket(s)];
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gee::util::ArgParser args("serve_demo",
+                            "mixed read/update loop over the QueryEngine");
+  args.add_option("vertices", "vertex count", "20000");
+  args.add_option("classes", "number of classes K", "10");
+  args.add_option("base-edges", "edges seeded before serving starts", "80000");
+  args.add_option("rounds", "update batches the writer applies", "400");
+  args.add_option("batch", "updates per writer batch", "256");
+  args.add_option("readers", "reader threads", "2");
+  args.add_option("query-batch", "out-of-sample queries per read batch", "64");
+  args.add_option("neighbors", "neighbors per out-of-sample query", "8");
+  args.add_option("max-staleness",
+                  "serve_max_staleness epoch bound (0 = always freshest)",
+                  "4");
+  args.add_option("seed", "random seed", "1");
+  if (!args.parse(argc, argv)) return 1;
+
+  const auto n = static_cast<VertexId>(args.get_int("vertices"));
+  const int k = static_cast<int>(args.get_int("classes"));
+  const auto rounds = static_cast<int>(args.get_int("rounds"));
+  const auto batch_size = static_cast<EdgeId>(args.get_int("batch"));
+  const int num_readers = static_cast<int>(args.get_int("readers"));
+  const auto qbatch = static_cast<std::size_t>(args.get_int("query-batch"));
+  const auto fanout = static_cast<std::size_t>(args.get_int("neighbors"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  const auto labels = gee::gen::semi_supervised_labels(n, k, 0.10, seed);
+  const auto base = gee::gen::erdos_renyi_gnm(
+      n, static_cast<EdgeId>(args.get_int("base-edges")), seed + 1);
+  gee::stream::DynamicGee dg(base, labels);
+
+  gee::core::Options serve_options;
+  serve_options.serve_max_staleness = args.get_int("max-staleness");
+  const gee::serve::QueryEngine engine(dg, serve_options);
+  std::printf("serving n=%u K=%d base_edges=%llu max_staleness=%lld\n", n, k,
+              static_cast<unsigned long long>(dg.num_live_edges()),
+              static_cast<long long>(serve_options.serve_max_staleness));
+
+  std::atomic<bool> done{false};
+  std::vector<ReaderTally> tallies(static_cast<std::size_t>(num_readers));
+  std::vector<std::thread> readers;
+  readers.reserve(tallies.size());
+  for (int r = 0; r < num_readers; ++r) {
+    readers.emplace_back([&, r] {
+      gee::util::Xoshiro256 rng(seed + 100 + static_cast<std::uint64_t>(r));
+      ReaderTally& tally = tallies[static_cast<std::size_t>(r)];
+      std::vector<gee::serve::VertexQuery> queries(qbatch);
+      std::vector<VertexId> ids(qbatch);
+      while (!done.load(std::memory_order_acquire)) {
+        for (auto& q : queries) {  // fresh out-of-sample fan-outs
+          q.neighbors.clear();
+          for (std::size_t j = 0; j < fanout; ++j) {
+            q.neighbors.emplace_back(
+                static_cast<VertexId>(rng.next_below(n)),
+                static_cast<Weight>(1 + rng.next_below(4)) * 0.5f);
+          }
+        }
+        for (auto& v : ids) v = static_cast<VertexId>(rng.next_below(n));
+        for (const auto& reply : engine.query_batch(queries)) {
+          tally.count(reply.staleness);
+        }
+        for (const auto& reply : engine.lookup_batch(ids)) {
+          tally.count(reply.staleness);
+        }
+      }
+    });
+  }
+
+  // The writer: `rounds` random update batches, yielding periodically so
+  // single-core machines interleave readers and writer.
+  gee::util::Timer wall;
+  gee::util::Xoshiro256 rng(seed + 2);
+  std::uint64_t updates = 0;
+  for (int b = 0; b < rounds; ++b) {
+    gee::stream::UpdateBatch batch;
+    batch.reserve(batch_size);
+    for (EdgeId i = 0; i < batch_size; ++i) {
+      batch.add(static_cast<VertexId>(rng.next_below(n)),
+                static_cast<VertexId>(rng.next_below(n)));
+    }
+    updates += dg.apply(batch).raw_ops;
+    if (b % 8 == 0) std::this_thread::yield();
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  const double seconds = wall.seconds();
+
+  ReaderTally total;
+  for (const auto& t : tallies) {
+    total.replies += t.replies;
+    for (std::size_t i = 0; i < 6; ++i) total.staleness[i] += t.staleness[i];
+  }
+
+  gee::util::TextTable table("mixed read/update loop -- " +
+                             std::to_string(num_readers) + " readers, " +
+                             std::to_string(rounds) + " writer batches");
+  table.set_header({"metric", "value"});
+  auto row = [&](const char* name, double value) {
+    table.begin_row();
+    table.cell(name);
+    table.cell(static_cast<long long>(value));
+  };
+  row("read QPS", static_cast<double>(total.replies) / seconds);
+  row("write updates/s", static_cast<double>(updates) / seconds);
+  row("epochs published", static_cast<double>(dg.epoch()));
+  row("engine refreshes", static_cast<double>(engine.stats().refreshes));
+  std::fputs(table.to_text().c_str(), stdout);
+
+  gee::util::TextTable hist("reply staleness histogram (epochs behind)");
+  hist.set_header({"0", "1", "2", "3-4", "5-8", "9+"});
+  hist.begin_row();
+  for (std::size_t i = 0; i < 6; ++i) {
+    hist.cell(static_cast<long long>(total.staleness[i]));
+  }
+  std::fputs(hist.to_text().c_str(), stdout);
+  return 0;
+}

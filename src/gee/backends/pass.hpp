@@ -18,6 +18,7 @@
 
 #include <cstdint>
 
+#include "gee/oos.hpp"
 #include "gee/options.hpp"
 #include "graph/csr.hpp"
 #include "graph/edge_list.hpp"
@@ -91,26 +92,23 @@ void pass_interpreted_edges(const graph::EdgeList& edges,
 
 // ------------------------------------------------------------ shared inline
 
-/// Line 10: source row u accumulates dest v's class mass.
+/// Line 10: source row u accumulates dest v's class mass. The per-neighbor
+/// step itself lives in oos.hpp so the serving path shares it bitwise.
 template <class AddFn>
 inline void update_src_side(const PassContext& ctx, VertexId u, VertexId v,
                             Weight w, AddFn&& add) {
-  const std::int32_t yv = ctx.labels[v];
-  if (yv >= 0) {
-    add(ctx.z[static_cast<std::size_t>(u) * ctx.k + yv],
-        ctx.vertex_weight[v] * static_cast<Real>(w));
-  }
+  accumulate_neighbor_mass(ctx.labels, ctx.vertex_weight,
+                           ctx.z + static_cast<std::size_t>(u) * ctx.k, v,
+                           static_cast<Real>(w), add);
 }
 
 /// Line 11: dest row v accumulates source u's class mass.
 template <class AddFn>
 inline void update_dest_side(const PassContext& ctx, VertexId u, VertexId v,
                              Weight w, AddFn&& add) {
-  const std::int32_t yu = ctx.labels[u];
-  if (yu >= 0) {
-    add(ctx.z[static_cast<std::size_t>(v) * ctx.k + yu],
-        ctx.vertex_weight[u] * static_cast<Real>(w));
-  }
+  accumulate_neighbor_mass(ctx.labels, ctx.vertex_weight,
+                           ctx.z + static_cast<std::size_t>(v) * ctx.k, u,
+                           static_cast<Real>(w), add);
 }
 
 }  // namespace gee::core::detail

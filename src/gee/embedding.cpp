@@ -38,17 +38,20 @@ Real max_abs_diff(const Embedding& a, const Embedding& b) {
   });
 }
 
-int argmax_row(const Embedding& z, VertexId v) {
-  const auto row = z.row(v);
+int argmax_class(std::span<const Real> row) {
   int best = -1;
   Real best_val = 0;
-  for (int c = 0; c < z.dim(); ++c) {
+  for (std::size_t c = 0; c < row.size(); ++c) {
     if (row[c] > best_val) {
       best_val = row[c];
-      best = c;
+      best = static_cast<int>(c);
     }
   }
   return best;
+}
+
+int argmax_row(const Embedding& z, VertexId v) {
+  return argmax_class(z.row(v));
 }
 
 }  // namespace gee::core

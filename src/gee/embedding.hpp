@@ -64,8 +64,14 @@ void normalize_rows(Embedding& z);
 /// max_{v,c} |a - b|; infinity if shapes differ. Test/diagnostic helper.
 Real max_abs_diff(const Embedding& a, const Embedding& b);
 
-/// Index of the largest entry of row v, or -1 for an all-zero row.
-/// (Nearest-class prediction for semi-supervised classification.)
+/// Index of the largest strictly-positive entry of a K-length row, or -1
+/// when no entry is positive (abstention: no labeled neighbor donated
+/// mass). Ties break toward the smaller class id. The single definition of
+/// nearest-class prediction -- classify.hpp and the serving layer
+/// (src/serve/) both route through it.
+int argmax_class(std::span<const Real> row);
+
+/// argmax_class of row v of `z`.
 int argmax_row(const Embedding& z, VertexId v);
 
 }  // namespace gee::core

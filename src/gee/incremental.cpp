@@ -69,19 +69,7 @@ void IncrementalGee::remove_edges(const graph::EdgeList& edges) {
 std::vector<Real> embed_out_of_sample(
     const Projection& projection, std::span<const std::int32_t> labels,
     std::span<const std::pair<graph::VertexId, graph::Weight>> neighbors) {
-  std::vector<Real> row(static_cast<std::size_t>(projection.num_classes),
-                        Real{0});
-  for (const auto& [v, w] : neighbors) {
-    if (v >= labels.size()) {
-      throw std::out_of_range("embed_out_of_sample: neighbor out of range");
-    }
-    const std::int32_t yv = labels[v];
-    if (yv >= 0) {
-      row[static_cast<std::size_t>(yv)] +=
-          projection.vertex_weight[v] * static_cast<Real>(w);
-    }
-  }
-  return row;
+  return embed_one_vertex(projection, labels, neighbors);
 }
 
 }  // namespace gee::core

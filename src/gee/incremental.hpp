@@ -22,6 +22,7 @@
 
 #include "gee/embedding.hpp"
 #include "gee/gee.hpp"
+#include "gee/oos.hpp"
 #include "gee/projection.hpp"
 #include "graph/edge_list.hpp"
 
@@ -33,15 +34,16 @@ namespace detail {
 /// removes mass). `add(cell, delta)` commits each update -- pass a plain
 /// `+=` from single-writer code (stream::DynamicGee's serial path) or
 /// par::write_add from concurrent code (IncrementalGee's bulk adds).
+/// The per-neighbor step is oos.hpp's shared kernel.
 template <class AddFn>
 inline void edge_delta_updates(const Projection& projection,
                                std::span<const std::int32_t> labels,
                                Embedding& z, graph::VertexId u,
                                graph::VertexId v, Real w, AddFn&& add) {
-  const std::int32_t yu = labels[u];
-  const std::int32_t yv = labels[v];
-  if (yv >= 0) add(z.at(u, yv), projection.vertex_weight[v] * w);
-  if (yu >= 0) add(z.at(v, yu), projection.vertex_weight[u] * w);
+  accumulate_neighbor_mass(labels.data(), projection.vertex_weight.data(),
+                           z.row(u).data(), v, w, add);
+  accumulate_neighbor_mass(labels.data(), projection.vertex_weight.data(),
+                           z.row(v).data(), u, w, add);
 }
 
 }  // namespace detail
@@ -88,6 +90,8 @@ class IncrementalGee {
 /// list: z[Y(v)] += W(v, Y(v)) * w for each neighbor (v, w). This is the
 /// source-side update only -- the out-of-sample vertex receives mass; the
 /// in-sample rows are left untouched (one-directional by construction).
+/// Thin wrapper over oos.hpp's embed_one_vertex (the serving-path home of
+/// this operation); kept for source compatibility.
 std::vector<Real> embed_out_of_sample(
     const Projection& projection, std::span<const std::int32_t> labels,
     std::span<const std::pair<graph::VertexId, graph::Weight>> neighbors);

@@ -1,0 +1,33 @@
+#include "gee/oos.hpp"
+
+#include <stdexcept>
+
+namespace gee::core {
+
+void embed_one_vertex(const Projection& projection,
+                      std::span<const std::int32_t> labels,
+                      std::span<const NeighborRef> neighbors,
+                      std::span<Real> row) {
+  if (row.size() < static_cast<std::size_t>(projection.num_classes)) {
+    throw std::invalid_argument("embed_one_vertex: row shorter than K");
+  }
+  for (const auto& [v, w] : neighbors) {
+    if (v >= labels.size()) {
+      throw std::out_of_range("embed_one_vertex: neighbor out of range");
+    }
+    accumulate_neighbor_mass(labels.data(), projection.vertex_weight.data(),
+                             row.data(), v, static_cast<Real>(w),
+                             [](Real& cell, Real delta) { cell += delta; });
+  }
+}
+
+std::vector<Real> embed_one_vertex(const Projection& projection,
+                                   std::span<const std::int32_t> labels,
+                                   std::span<const NeighborRef> neighbors) {
+  std::vector<Real> row(static_cast<std::size_t>(projection.num_classes),
+                        Real{0});
+  embed_one_vertex(projection, labels, neighbors, row);
+  return row;
+}
+
+}  // namespace gee::core

@@ -109,6 +109,13 @@ struct Options {
   /// leave ~1 ulp of floating-point residue per operation (incremental.hpp);
   /// the rebuild bounds accumulated drift. <= 0 disables drift rebuilds.
   double stream_rebuild_drift = 0.5;
+
+  /// Serving (src/serve/ QueryEngine): refresh the engine's pinned epoch
+  /// snapshot when it lags the writer's published epoch by MORE than this
+  /// many batches; within the bound, queries reuse the pin and never touch
+  /// the publication lock. 0 = always serve the freshest epoch; < 0 =
+  /// never refresh (serve the construction-time pin forever).
+  std::int64_t serve_max_staleness = 0;
 };
 
 /// Wall-clock breakdown of an embed() call (seconds).

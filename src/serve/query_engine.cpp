@@ -1,0 +1,166 @@
+#include "serve/query_engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "gee/embedding.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace gee::serve {
+
+using graph::VertexId;
+
+std::vector<ClassScore> top_k_classes(std::span<const Real> row, int k) {
+  std::vector<ClassScore> scores;
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    if (row[c] > 0) {
+      scores.push_back({static_cast<std::int32_t>(c), row[c]});
+    }
+  }
+  // Stable on the class-ascending input: ties keep the smaller class id.
+  std::stable_sort(scores.begin(), scores.end(),
+                   [](const ClassScore& a, const ClassScore& b) {
+                     return a.score > b.score;
+                   });
+  if (k > 0 && scores.size() > static_cast<std::size_t>(k)) {
+    scores.resize(static_cast<std::size_t>(k));
+  }
+  return scores;
+}
+
+QueryEngine::QueryEngine(const stream::DynamicGee& source,
+                         core::Options options)
+    : source_(&source), options_(options) {
+  pinned_.store(std::make_shared<const Pinned>(Pinned{source.snapshot()}),
+                std::memory_order_release);
+}
+
+QueryEngine::Pin QueryEngine::pin_internal() const {
+  auto cur = pinned_.load(std::memory_order_acquire);
+  const std::uint64_t bound =
+      options_.serve_max_staleness < 0
+          ? std::numeric_limits<std::uint64_t>::max()
+          : static_cast<std::uint64_t>(options_.serve_max_staleness);
+  auto refreshed = source_->refresh(cur->snap, bound);
+  if (!refreshed.fresh) {  // lock-free fast path: pin still within bound
+    return {std::move(cur), refreshed.staleness};
+  }
+
+  // The fresh snapshot's staleness at pin time is 0 by construction
+  // (snapshot() returns the current epoch), and a competing refresh we
+  // adopt below is at least as new.
+  auto fresh = std::make_shared<const Pinned>(
+      Pinned{*std::move(refreshed.fresh)});
+  // Install only monotonically newer epochs: concurrent refreshes race,
+  // and without the epoch guard a slower thread could overwrite a fresher
+  // pin, moving the epoch a later reader observes backwards.
+  while (!pinned_.compare_exchange_weak(cur, fresh,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+    if (cur->snap.epoch >= fresh->snap.epoch) return {std::move(cur), 0};
+  }
+  refreshes_.fetch_add(1, std::memory_order_relaxed);
+  return {std::move(fresh), 0};
+}
+
+stream::Snapshot QueryEngine::pin() const { return pin_internal().pinned->snap; }
+
+void QueryEngine::answer_oos(const stream::Snapshot& snap,
+                             std::uint64_t staleness, const VertexQuery& q,
+                             QueryReply& reply) const {
+  reply.row.assign(static_cast<std::size_t>(num_classes()), Real{0});
+  core::embed_one_vertex(source_->projection(), source_->labels(),
+                         q.neighbors, reply.row);
+  reply.predicted = core::argmax_class(reply.row);
+  reply.epoch = snap.epoch;
+  reply.staleness = staleness;
+}
+
+void QueryEngine::answer_lookup(const stream::Snapshot& snap,
+                                std::uint64_t staleness, VertexId v,
+                                QueryReply& reply) const {
+  const auto row = snap->row(v);
+  reply.row.assign(row.begin(), row.end());
+  reply.predicted = core::argmax_class(reply.row);
+  reply.epoch = snap.epoch;
+  reply.staleness = staleness;
+}
+
+QueryReply QueryEngine::query(const VertexQuery& q) const {
+  const auto pin = pin_internal();
+  QueryReply reply;
+  answer_oos(pin.pinned->snap, pin.staleness, q, reply);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  return reply;
+}
+
+std::vector<QueryReply> QueryEngine::query_batch(
+    std::span<const VertexQuery> queries) const {
+  // Validate everything up front: a throw from inside the parallel region
+  // could not propagate, and a partially answered batch helps nobody.
+  const VertexId n = num_vertices();
+  for (const auto& q : queries) {
+    for (const auto& [v, w] : q.neighbors) {
+      if (v >= n) {
+        throw std::out_of_range("query_batch: neighbor out of range");
+      }
+    }
+  }
+
+  const auto pin = pin_internal();
+  std::vector<QueryReply> replies(queries.size());
+  gee::par::ThreadScope threads(options_.num_threads);
+  gee::par::parallel_for_dynamic(
+      std::size_t{0}, queries.size(),
+      [&](std::size_t i) {
+        answer_oos(pin.pinned->snap, pin.staleness, queries[i], replies[i]);
+      },
+      /*chunk=*/4);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  queries_.fetch_add(queries.size(), std::memory_order_relaxed);
+  return replies;
+}
+
+QueryReply QueryEngine::lookup(VertexId v) const {
+  if (v >= num_vertices()) {
+    throw std::out_of_range("lookup: vertex out of range");
+  }
+  const auto pin = pin_internal();
+  QueryReply reply;
+  answer_lookup(pin.pinned->snap, pin.staleness, v, reply);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  return reply;
+}
+
+std::vector<QueryReply> QueryEngine::lookup_batch(
+    std::span<const VertexId> vertices) const {
+  const VertexId n = num_vertices();
+  for (const VertexId v : vertices) {
+    if (v >= n) {
+      throw std::out_of_range("lookup_batch: vertex out of range");
+    }
+  }
+
+  const auto pin = pin_internal();
+  std::vector<QueryReply> replies(vertices.size());
+  gee::par::ThreadScope threads(options_.num_threads);
+  gee::par::parallel_for_dynamic(
+      std::size_t{0}, vertices.size(),
+      [&](std::size_t i) {
+        answer_lookup(pin.pinned->snap, pin.staleness, vertices[i], replies[i]);
+      },
+      /*chunk=*/16);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  queries_.fetch_add(vertices.size(), std::memory_order_relaxed);
+  return replies;
+}
+
+QueryEngine::Stats QueryEngine::stats() const noexcept {
+  return Stats{queries_.load(std::memory_order_relaxed),
+               batches_.load(std::memory_order_relaxed),
+               refreshes_.load(std::memory_order_relaxed)};
+}
+
+}  // namespace gee::serve

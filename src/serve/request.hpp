@@ -1,0 +1,59 @@
+// Request/reply types of the serving layer (src/serve/).
+//
+// A query is either out-of-sample -- a vertex the graph has never seen,
+// described entirely by its would-be incident edge list -- or in-sample, a
+// plain row lookup. Every reply carries the answering snapshot's epoch and
+// its staleness at pin time, so callers can reason about freshness without
+// ever touching the writer (DESIGN.md section 7).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gee/oos.hpp"
+#include "gee/options.hpp"
+#include "graph/types.hpp"
+
+namespace gee::serve {
+
+using core::Real;
+
+/// One out-of-sample vertex: its incident edge list as (in-sample endpoint,
+/// weight) pairs. The order is the accumulation order of the synthesized
+/// row -- list edges in batch order for bitwise parity with a batch embed.
+struct VertexQuery {
+  std::vector<core::NeighborRef> neighbors;
+};
+
+/// One class's mass in a reply row, for ranking-style consumers.
+struct ClassScore {
+  std::int32_t cls = -1;
+  Real score = 0;
+};
+
+/// Reply to one query (out-of-sample or in-sample).
+struct QueryReply {
+  /// The K-dimensional embedding row.
+  std::vector<Real> row;
+  /// argmax-class prediction; -1 = abstained (no positive mass; see
+  /// core::argmax_class for the tie/abstention contract).
+  std::int32_t predicted = -1;
+  /// Epoch of the snapshot that answered this query.
+  std::uint64_t epoch = 0;
+  /// Batches the writer had published past `epoch` at pin time -- the
+  /// freshness metric, measured by the same epoch read that revalidated
+  /// the pin, so it never exceeds a nonnegative
+  /// Options::serve_max_staleness (and is 0 right after a refresh). The
+  /// writer may of course publish more while the batch is being answered.
+  std::uint64_t staleness = 0;
+};
+
+/// The k classes with the largest strictly-positive mass, descending by
+/// score with ties toward the smaller class id; classes with no positive
+/// mass are omitted (matching the abstention contract), so fewer than k
+/// entries may return. k <= 0 returns all positive-mass classes.
+[[nodiscard]] std::vector<ClassScore> top_k_classes(std::span<const Real> row,
+                                                    int k);
+
+}  // namespace gee::serve

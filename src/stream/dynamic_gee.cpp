@@ -225,12 +225,15 @@ bool DynamicGee::apply_deltas(core::Embedding& z,
 }
 
 std::unique_ptr<core::Embedding> DynamicGee::acquire_writable() {
+  // Writer thread only; it is the sole epoch_ writer, so relaxed loads
+  // here always see its own latest store.
+  const std::uint64_t at_epoch = epoch_.load(std::memory_order_relaxed);
   auto [buffer, buffer_epoch] = pool_->try_get();
-  if (buffer != nullptr && buffer_epoch <= epoch_) {
+  if (buffer != nullptr && buffer_epoch <= at_epoch) {
     const bool replayable =
-        buffer_epoch == epoch_ ||
+        buffer_epoch == at_epoch ||
         (!log_.empty() && log_.front().first <= buffer_epoch + 1 &&
-         log_.back().first == epoch_);
+         log_.back().first == at_epoch);
     if (replayable) {
       for (const auto& [log_epoch, log_deltas] : log_) {
         if (log_epoch > buffer_epoch) apply_deltas(*buffer, log_deltas);
@@ -256,7 +259,7 @@ std::unique_ptr<core::Embedding> DynamicGee::acquire_writable() {
 
 void DynamicGee::publish(std::unique_ptr<core::Embedding> z,
                          std::vector<UpdateBatch::Delta> deltas) {
-  const std::uint64_t next_epoch = epoch_ + 1;
+  const std::uint64_t next_epoch = epoch_.load(std::memory_order_relaxed) + 1;
   std::shared_ptr<core::Embedding> next(
       z.release(), [pool = pool_, next_epoch](core::Embedding* p) {
         pool->put(p, next_epoch);
@@ -265,7 +268,9 @@ void DynamicGee::publish(std::unique_ptr<core::Embedding> z,
   {
     std::lock_guard<std::mutex> lock(publish_mutex_);
     retired = std::exchange(published_, std::move(next));
-    epoch_ = next_epoch;
+    // Release store: a lock-free epoch() observer that sees next_epoch is
+    // ordered after the buffer's contents were fully written.
+    epoch_.store(next_epoch, std::memory_order_release);
   }
   // `retired` drops here, outside the lock: if no reader still holds it,
   // its deleter returns the buffer to the pool on this thread.
@@ -279,17 +284,24 @@ void DynamicGee::publish(std::unique_ptr<core::Embedding> z,
 
 Snapshot DynamicGee::snapshot() const {
   std::lock_guard<std::mutex> lock(publish_mutex_);
-  return Snapshot{published_, epoch_};
+  return Snapshot{published_, epoch_.load(std::memory_order_relaxed)};
 }
 
-std::uint64_t DynamicGee::epoch() const {
-  std::lock_guard<std::mutex> lock(publish_mutex_);
-  return epoch_;
+std::uint64_t DynamicGee::epoch() const noexcept {
+  return epoch_.load(std::memory_order_acquire);
 }
 
-std::uint64_t DynamicGee::staleness(const Snapshot& snap) const {
+std::uint64_t DynamicGee::staleness(const Snapshot& snap) const noexcept {
   const std::uint64_t current = epoch();
   return current > snap.epoch ? current - snap.epoch : 0;
+}
+
+DynamicGee::RefreshResult DynamicGee::refresh(
+    const Snapshot& snap, std::uint64_t max_staleness) const {
+  RefreshResult result;
+  result.staleness = staleness(snap);
+  if (result.staleness > max_staleness) result.fresh = snapshot();
+  return result;
 }
 
 bool DynamicGee::drift_exceeded() const noexcept {

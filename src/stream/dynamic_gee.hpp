@@ -25,7 +25,8 @@
 //    that is the paper's point) and republished.
 //
 // Threading contract: ONE writer thread calls apply()/rebuild(); any
-// number of reader threads call snapshot()/epoch()/staleness()
+// number of reader threads call snapshot()/epoch()/staleness()/refresh()
+// (and the const accessors projection()/labels()/num_vertices())
 // concurrently with the writer and each other. stats() and the other
 // inspectors are writer-thread-only.
 //
@@ -34,10 +35,12 @@
 // scratch with a new DynamicGee.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -85,11 +88,33 @@ class DynamicGee {
   /// mutex-protected shared_ptr copy, never blocked by delta application).
   [[nodiscard]] Snapshot snapshot() const;
 
-  /// Epochs published so far (0 = construction state).
-  [[nodiscard]] std::uint64_t epoch() const;
+  /// Epochs published so far (0 = construction state). Lock-free: one
+  /// atomic load, so serving-side staleness checks never contend with
+  /// snapshot() or the writer's publish.
+  [[nodiscard]] std::uint64_t epoch() const noexcept;
 
-  /// Batches published since `snap` was taken.
-  [[nodiscard]] std::uint64_t staleness(const Snapshot& snap) const;
+  /// Batches published since `snap` was taken. Lock-free (see epoch()).
+  [[nodiscard]] std::uint64_t staleness(const Snapshot& snap) const noexcept;
+
+  /// Outcome of one refresh() bound check. `staleness` is snap's lag as
+  /// measured by the SAME epoch read that made the decision -- serving
+  /// code reports it to callers, so a reply can never claim more lag than
+  /// the bound that admitted its pin.
+  struct RefreshResult {
+    /// Engaged (with the current snapshot) only when the bound was
+    /// exceeded.
+    std::optional<Snapshot> fresh;
+    std::uint64_t staleness = 0;
+  };
+
+  /// Serving-side refresh hook: re-snapshot when `snap` lags the current
+  /// epoch by MORE than `max_staleness` batches. The within-bound path is
+  /// one lock-free epoch load -- a pinned reader polling at high rate
+  /// never touches the publication lock until it actually needs a newer
+  /// epoch. The single home of the staleness-bound rule (serve::
+  /// QueryEngine routes every pin through it).
+  [[nodiscard]] RefreshResult refresh(const Snapshot& snap,
+                                      std::uint64_t max_staleness) const;
 
   /// Force a from-scratch recompute from the live edge multiset (the drift
   /// trigger calls this automatically). Publishes a new epoch.
@@ -97,6 +122,11 @@ class DynamicGee {
 
   [[nodiscard]] const core::Projection& projection() const noexcept {
     return projection_;
+  }
+  /// The fixed label vector (set at construction; immutable thereafter, so
+  /// reader threads may hold this span for the engine's lifetime).
+  [[nodiscard]] std::span<const std::int32_t> labels() const noexcept {
+    return labels_;
   }
   [[nodiscard]] graph::VertexId num_vertices() const noexcept { return n_; }
   /// Live edge multiplicity (parallel edges counted; writer-thread-only).
@@ -149,9 +179,11 @@ class DynamicGee {
   std::unordered_map<std::uint64_t, LiveEdge> live_;
   std::uint64_t live_count_ = 0;
 
-  mutable std::mutex publish_mutex_;           // guards published_ + epoch_
+  mutable std::mutex publish_mutex_;           // guards published_
   std::shared_ptr<core::Embedding> published_; // readers snapshot this
-  std::uint64_t epoch_ = 0;
+  /// Stored under publish_mutex_ (so snapshot() reads a consistent
+  /// (pointer, epoch) pair) but loadable lock-free by epoch()/staleness().
+  std::atomic<std::uint64_t> epoch_{0};
 
   std::shared_ptr<BufferPool> pool_;
   /// (epoch, deltas) of the most recent applies, newest last; a pooled

@@ -71,6 +71,99 @@ TEST(EvaluateHoldout, Validation) {
       std::invalid_argument);
 }
 
+TEST(PredictArgmax, TieBreaksTowardSmallerClassAndRequiresPositiveMass) {
+  Embedding z(3, 3);
+  z.at(0, 0) = 2.0;  // exact tie between classes 0 and 1
+  z.at(0, 1) = 2.0;
+  z.at(1, 1) = 5.0;  // tie between 1 and 2: smaller id wins
+  z.at(1, 2) = 5.0;
+  z.at(2, 0) = -1.0;  // negative mass only (removal residue): abstain --
+  z.at(2, 2) = -3.0;  // argmax is over strictly positive entries
+  const auto predicted = predict_argmax(z);
+  EXPECT_EQ(predicted, (std::vector<std::int32_t>{0, 1, -1}));
+
+  // argmax_class is the single definition both classify and the serving
+  // layer route through; spot-check the span form directly.
+  EXPECT_EQ(argmax_class(std::vector<Real>{0.0, 0.0}), -1);
+  EXPECT_EQ(argmax_class(std::vector<Real>{1.0, 2.0, 2.0}), 1);
+  EXPECT_EQ(argmax_class(std::vector<Real>{}), -1);
+}
+
+TEST(EvaluateHoldout, SingleClassGraph) {
+  // K = 1: every prediction is class 0 or an abstention; the confusion
+  // matrix is 1 x 2 (the extra column holds abstentions).
+  Embedding z(4, 1);
+  z.at(0, 0) = 1.0;  // observed: excluded from evaluation
+  z.at(1, 0) = 2.0;  // predicted 0, correct
+  // vertices 2, 3: zero rows, abstain
+  const std::vector<std::int32_t> truth{0, 0, 0, 0};
+  const std::vector<std::int32_t> observed{0, -1, -1, -1};
+  const auto report = evaluate_holdout(z, truth, observed);
+  EXPECT_EQ(report.evaluated, 3u);
+  EXPECT_DOUBLE_EQ(report.accuracy, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(report.coverage, 1.0 / 3.0);
+  ASSERT_EQ(report.confusion.size(), 1u);
+  ASSERT_EQ(report.confusion[0].size(), 2u);
+  EXPECT_EQ(report.confusion[0][0], 1u);
+  EXPECT_EQ(report.confusion[0][1], 2u);
+}
+
+TEST(EvaluateHoldout, EmptyHoldoutYieldsZeroedReport) {
+  Embedding z(3, 2);
+  z.at(0, 0) = 1.0;
+  z.at(1, 1) = 1.0;
+  // Every vertex was observed (or unlabeled): nothing to evaluate.
+  const std::vector<std::int32_t> truth{0, 1, -1};
+  const std::vector<std::int32_t> observed{0, 1, -1};
+  const auto report = evaluate_holdout(z, truth, observed);
+  EXPECT_EQ(report.evaluated, 0u);
+  EXPECT_DOUBLE_EQ(report.accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(report.coverage, 0.0);
+  for (const auto& row : report.confusion) {
+    for (const auto cell : row) EXPECT_EQ(cell, 0u);
+  }
+}
+
+TEST(EvaluateHoldout, ConfusionMatrixInvariants) {
+  // On a real embedding, the confusion matrix must tie out against every
+  // scalar the report carries.
+  const auto sbm =
+      gee::gen::sbm(gee::gen::SbmParams::balanced(600, 3, 0.08, 0.01), 11);
+  const Graph g = Graph::build(sbm.edges, GraphKind::kUndirected);
+  const auto observed = gee::gen::observe_labels_exact(sbm.labels, 0.15, 13);
+  const auto result = embed(g, observed, {});
+  const auto report = evaluate_holdout(result.z, sbm.labels, observed);
+
+  const auto k = static_cast<std::size_t>(result.z.dim());
+  ASSERT_EQ(report.confusion.size(), k);
+
+  std::uint64_t total = 0, diagonal = 0, abstained = 0;
+  std::vector<std::uint64_t> row_sums(k, 0);
+  for (std::size_t t = 0; t < k; ++t) {
+    ASSERT_EQ(report.confusion[t].size(), k + 1);
+    for (std::size_t p = 0; p <= k; ++p) {
+      const std::uint64_t cell = report.confusion[t][p];
+      total += cell;
+      row_sums[t] += cell;
+      if (p == t) diagonal += cell;
+      if (p == k) abstained += cell;
+    }
+  }
+  // Every evaluated vertex lands in exactly one cell.
+  EXPECT_EQ(total, static_cast<std::uint64_t>(report.evaluated));
+  // Row t counts exactly the held-out vertices of true class t.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (observed[v] >= 0 || sbm.labels[v] < 0) continue;
+    row_sums[static_cast<std::size_t>(sbm.labels[v])]--;
+  }
+  for (std::size_t t = 0; t < k; ++t) EXPECT_EQ(row_sums[t], 0u) << t;
+  // The scalars are exact functions of the matrix.
+  const auto evaluated = static_cast<double>(report.evaluated);
+  EXPECT_DOUBLE_EQ(report.accuracy, static_cast<double>(diagonal) / evaluated);
+  EXPECT_DOUBLE_EQ(report.coverage,
+                   static_cast<double>(total - abstained) / evaluated);
+}
+
 TEST(LaplacianSpectralEmbedding, RecoversSbmBlocks) {
   const auto sbm =
       gee::gen::sbm(gee::gen::SbmParams::balanced(400, 2, 0.2, 0.02), 7);

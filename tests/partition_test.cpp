@@ -25,6 +25,7 @@
 #include "partition/partitioner.hpp"
 #include "partition/tile_accumulator.hpp"
 #include "partition/tile_pool.hpp"
+#include "testing/random_graphs.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -34,52 +35,22 @@ using namespace gee::graph;
 using gee::par::ThreadScope;
 using gee::partition::EdgePartitionPlan;
 using gee::partition::UpdateSides;
+using gee::testutil::option_combos;
+using gee::testutil::with_random_weights;
 
-EdgeList with_random_weights(EdgeList el, std::uint64_t seed) {
-  gee::util::Xoshiro256 rng(seed);
-  auto& w = el.mutable_weights();
-  w.resize(el.num_edges());
-  for (auto& x : w) {
-    x = static_cast<Weight>(rng.next_below(16) + 1) * 0.25f;
-  }
-  return el;
-}
-
-/// The satellite's graph matrix: SBM, R-MAT, Erdős–Rényi; unweighted and
-/// weighted variants of each.
-struct NamedGraph {
-  const char* name;
-  EdgeList edges;
-};
-
-std::vector<NamedGraph> test_graphs() {
-  std::vector<NamedGraph> graphs;
-  auto sbm = gee::gen::sbm(gee::gen::SbmParams::balanced(600, 4, 0.05, 0.005),
-                           7);
-  auto rmat = gee::gen::rmat(10, 8, 3);
-  auto er = gee::gen::erdos_renyi_gnm(500, 6000, 11);
-  graphs.push_back({"sbm", sbm.edges});
-  graphs.push_back({"rmat", rmat});
-  graphs.push_back({"erdos-renyi", er});
-  graphs.push_back({"sbm-weighted", with_random_weights(sbm.edges, 21)});
-  graphs.push_back({"rmat-weighted", with_random_weights(rmat, 23)});
-  graphs.push_back({"erdos-renyi-weighted", with_random_weights(er, 27)});
-  return graphs;
-}
-
-/// The satellite's option matrix: plain, each flag alone, all together.
-std::vector<std::pair<const char*, Options>> option_combos(Backend backend) {
-  return {
-      {"plain", {.backend = backend}},
-      {"laplacian", {.backend = backend, .laplacian = true}},
-      {"diag_augment", {.backend = backend, .diag_augment = true}},
-      {"correlation", {.backend = backend, .correlation = true}},
-      {"all",
-       {.backend = backend,
-        .laplacian = true,
-        .diag_augment = true,
-        .correlation = true}},
-  };
+/// The differential graph matrix (tests/testing/random_graphs.hpp) at this
+/// file's historical sizes -- larger than the conformance harness's
+/// defaults so the partitioner sees nontrivial block shapes.
+std::vector<gee::testutil::RandomGraph> test_graphs() {
+  gee::testutil::GraphMatrixParams p;
+  p.sbm_n = 600;
+  p.sbm_p_in = 0.05;
+  p.sbm_p_out = 0.005;
+  p.rmat_n = 1024;
+  p.rmat_m = 8192;
+  p.er_n = 500;
+  p.er_m = 6000;
+  return gee::testutil::random_graph_matrix(7, p);
 }
 
 // ------------------------------------------------------------- partitioner

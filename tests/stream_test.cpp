@@ -21,6 +21,7 @@
 #include "graph/edge_list.hpp"
 #include "stream/dynamic_gee.hpp"
 #include "stream/update_batch.hpp"
+#include "testing/random_graphs.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -35,16 +36,7 @@ using graph::VertexId;
 using graph::Weight;
 using stream::DynamicGee;
 using stream::UpdateBatch;
-
-EdgeList with_random_weights(const EdgeList& el, std::uint64_t seed) {
-  util::Xoshiro256 rng(seed);
-  EdgeList weighted(el.num_vertices());
-  for (EdgeId e = 0; e < el.num_edges(); ++e) {
-    weighted.add(el.src(e), el.dst(e),
-                 static_cast<Weight>(1 + rng.next_below(5)) * 0.5f);
-  }
-  return weighted;
-}
+using testutil::with_random_weights;
 
 /// Stream `el` into a fresh DynamicGee in `num_batches` contiguous slices.
 /// (Heap-allocated: DynamicGee owns a mutex and does not move.)
@@ -105,33 +97,10 @@ TEST(UpdateBatch, Validation) {
 
 // -------------------------------------------------- acceptance: replay
 
-struct ReplayCase {
-  const char* name;
-  EdgeList edges;
-  std::vector<std::int32_t> labels;
-};
-
-std::vector<ReplayCase> replay_cases() {
-  std::vector<ReplayCase> cases;
-
-  auto sbm = gen::sbm(gen::SbmParams::balanced(240, 4, 0.10, 0.01), 7);
-  cases.push_back({"sbm", sbm.edges, sbm.labels});
-  cases.push_back({"sbm-weighted", with_random_weights(sbm.edges, 11),
-                   sbm.labels});
-
-  auto rmat = gen::rmat_approx(256, 2500, 13);
-  auto rmat_labels = gen::semi_supervised_labels(rmat.num_vertices(), 6,
-                                                 0.3, 17);
-  cases.push_back({"rmat", rmat, rmat_labels});
-  cases.push_back({"rmat-weighted", with_random_weights(rmat, 19),
-                   rmat_labels});
-
-  auto er = gen::erdos_renyi_gnm(300, 3000, 23);
-  auto er_labels = gen::semi_supervised_labels(er.num_vertices(), 5, 0.4, 29);
-  cases.push_back({"er", er, er_labels});
-  cases.push_back({"er-weighted", with_random_weights(er, 31), er_labels});
-
-  return cases;
+/// The shared differential matrix (tests/testing/random_graphs.hpp) at its
+/// default streaming-replay sizes.
+std::vector<testutil::RandomGraph> replay_cases() {
+  return testutil::random_graph_matrix(7);
 }
 
 TEST(DynamicGee, ReplayMatchesOneShotBatch) {
@@ -315,6 +284,27 @@ TEST(DynamicGee, SnapshotsAreImmutableAndStalenessCounts) {
     dg.apply(more);
   }
   EXPECT_EQ(dg.staleness(s0), 4u);
+}
+
+TEST(DynamicGee, RefreshHookHonorsStalenessBound) {
+  const std::vector<std::int32_t> labels{0, 1, 0, 1};
+  DynamicGee dg(labels);
+  const auto pinned = dg.snapshot();
+  for (int i = 0; i < 3; ++i) {
+    UpdateBatch batch;
+    batch.add(0, 1);
+    dg.apply(batch);
+  }
+  // Within the bound: no new snapshot; beyond it: the current epoch.
+  // Either way the measured staleness rides along.
+  const auto held = dg.refresh(pinned, 3);
+  EXPECT_FALSE(held.fresh.has_value());
+  EXPECT_EQ(held.staleness, 3u);
+  const auto fresh = dg.refresh(pinned, 2);
+  ASSERT_TRUE(fresh.fresh.has_value());
+  EXPECT_EQ(fresh.staleness, 3u);
+  EXPECT_EQ(fresh.fresh->epoch, 3u);
+  EXPECT_EQ(dg.staleness(*fresh.fresh), 0u);
 }
 
 TEST(DynamicGee, PooledBuffersPromoteByDeltaReplay) {

@@ -1,0 +1,129 @@
+// Shared random-graph fixtures for the differential test harnesses.
+//
+// Every conformance-style test in this repo sweeps the same matrix: the
+// three generator families (SBM / R-MAT / Erdős–Rényi), each in an
+// unweighted and a weighted variant, against an option matrix. These
+// fixtures keep that matrix in one place (backend_conformance_test,
+// partition_test, stream_test, serve_test) and -- the property-based
+// harness's key requirement -- derive every case from ONE master seed that
+// appears in the case name, so a failure line always prints what to
+// replay.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gee/options.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/labels.hpp"
+#include "gen/rmat.hpp"
+#include "gen/sbm.hpp"
+#include "graph/edge_list.hpp"
+#include "util/rng.hpp"
+
+namespace gee::testutil {
+
+using graph::EdgeId;
+using graph::EdgeList;
+using graph::VertexId;
+using graph::Weight;
+
+/// Attach deterministic weights in {0.25, 0.5, .., 2.0} to every edge.
+inline EdgeList with_random_weights(EdgeList el, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  auto& w = el.mutable_weights();
+  w.resize(el.num_edges());
+  for (auto& x : w) {
+    x = static_cast<Weight>(rng.next_below(8) + 1) * 0.25f;
+  }
+  return el;
+}
+
+/// One named differential test case: a graph plus a label vector (SBM
+/// carries its planted blocks; the others get paper-style semi-supervised
+/// labels). `name` embeds the master seed for failure output.
+struct RandomGraph {
+  std::string name;
+  std::uint64_t seed = 0;
+  EdgeList edges;
+  std::vector<std::int32_t> labels;
+};
+
+/// Knobs for the matrix; defaults are the streaming replay sizes (small
+/// enough that a full backend x option sweep per seed stays in
+/// milliseconds). partition_test passes larger sizes.
+struct GraphMatrixParams {
+  VertexId sbm_n = 240;
+  int sbm_blocks = 4;
+  double sbm_p_in = 0.10;
+  double sbm_p_out = 0.01;
+  VertexId rmat_n = 256;
+  EdgeId rmat_m = 2500;
+  VertexId er_n = 300;
+  EdgeId er_m = 3000;
+  /// Classes / labeled fraction for the non-SBM families.
+  int label_classes = 6;
+  double label_fraction = 0.3;
+  /// Also emit a weighted variant of each family.
+  bool weighted_variants = true;
+};
+
+/// The family matrix at one master seed. Per-family generator and label
+/// seeds are derived via hash_combine so families stay independent.
+inline std::vector<RandomGraph> random_graph_matrix(
+    std::uint64_t seed, const GraphMatrixParams& p = {}) {
+  auto sub = [&](std::uint64_t salt) { return util::hash_combine(seed, salt); };
+  auto tag = [&](const char* family, bool weighted) {
+    return std::string(family) + (weighted ? "-weighted" : "") +
+           "[seed=" + std::to_string(seed) + "]";
+  };
+
+  std::vector<RandomGraph> cases;
+  auto push = [&](const char* family, EdgeList edges,
+                  std::vector<std::int32_t> labels, std::uint64_t wsalt) {
+    if (p.weighted_variants) {
+      cases.push_back({tag(family, true), seed,
+                       with_random_weights(edges, sub(wsalt)), labels});
+    }
+    cases.push_back({tag(family, false), seed, std::move(edges),
+                     std::move(labels)});
+  };
+
+  auto sbm = gen::sbm(gen::SbmParams::balanced(p.sbm_n, p.sbm_blocks,
+                                               p.sbm_p_in, p.sbm_p_out),
+                      sub(1));
+  push("sbm", std::move(sbm.edges), std::move(sbm.labels), 2);
+
+  auto rmat = gen::rmat_approx(p.rmat_n, p.rmat_m, sub(3));
+  auto rmat_labels = gen::semi_supervised_labels(
+      rmat.num_vertices(), p.label_classes, p.label_fraction, sub(4));
+  push("rmat", std::move(rmat), std::move(rmat_labels), 5);
+
+  auto er = gen::erdos_renyi_gnm(p.er_n, p.er_m, sub(6));
+  auto er_labels = gen::semi_supervised_labels(
+      er.num_vertices(), p.label_classes, p.label_fraction, sub(7));
+  push("er", std::move(er), std::move(er_labels), 8);
+
+  return cases;
+}
+
+/// The differential option matrix: plain, each preprocessing flag alone,
+/// all together (the flags compose; "all" catches interaction bugs).
+inline std::vector<std::pair<const char*, core::Options>> option_combos(
+    core::Backend backend) {
+  return {
+      {"plain", {.backend = backend}},
+      {"laplacian", {.backend = backend, .laplacian = true}},
+      {"diag_augment", {.backend = backend, .diag_augment = true}},
+      {"correlation", {.backend = backend, .correlation = true}},
+      {"all",
+       {.backend = backend,
+        .laplacian = true,
+        .diag_augment = true,
+        .correlation = true}},
+  };
+}
+
+}  // namespace gee::testutil
