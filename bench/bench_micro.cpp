@@ -6,7 +6,10 @@
 // and the engine's full per-edge cost.
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
+
+#include "bench/report.hpp"
 
 #include "gee/gee.hpp"
 #include "gee/projection.hpp"
@@ -155,6 +158,63 @@ BENCHMARK_CAPTURE(BM_EdgePass, partitioned, Backend::kPartitioned)
 BENCHMARK_CAPTURE(BM_EdgePass, replicated, Backend::kReplicated)
     ->Unit(benchmark::kMillisecond);
 
+// ----------------------------------------------------------- JSON baseline
+
+/// Whether a run was skipped/errored, across google-benchmark versions:
+/// pre-1.8 exposes `Run::error_occurred`, 1.8+ replaced it with the
+/// `Run::skipped` enum. Overload rank (int beats long) prefers whichever
+/// member the installed header actually has.
+template <class R>
+auto run_skipped_impl(const R& r, int)
+    -> decltype(static_cast<bool>(r.error_occurred)) {
+  return r.error_occurred;
+}
+template <class R>
+auto run_skipped_impl(const R& r, long)
+    -> decltype(static_cast<bool>(r.skipped)) {
+  return static_cast<bool>(r.skipped);
+}
+
+/// Console output as usual, plus every per-iteration run captured into
+/// BENCH_micro.json so the table has a machine-readable twin.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  JsonCaptureReporter() : report_("micro") {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      if (run_skipped_impl(run, 0)) continue;
+      const auto iters = static_cast<double>(run.iterations);
+      report_.begin_case(run.benchmark_name());
+      report_.metric("real_time_per_iter_s",
+                     iters > 0 ? run.real_accumulated_time / iters : 0.0);
+      report_.metric("cpu_time_per_iter_s",
+                     iters > 0 ? run.cpu_accumulated_time / iters : 0.0);
+      report_.metric("iterations", iters);
+      // Rate counters (items_per_second from SetItemsProcessed) arrive
+      // already finalized by the library.
+      for (const auto& [name, counter] : run.counters) {
+        report_.metric(name, counter.value);
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  bool write_report() const { return report_.write(); }
+
+ private:
+  gee::bench::JsonReport report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.write_report();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,6 +9,13 @@
 // column shows the same trade for pure row copies (memory-bound, even
 // cheaper per reply).
 //
+// Latency columns come from the serving subsystem's own metrics: the bench
+// resets the gee.serve.batch_seconds histogram before each case and scrapes
+// its quantiles after, so the numbers printed here are exactly what a
+// production scrape of the engine would report. The same doubles land in
+// BENCH_serve.json (bench/report.hpp), making the table cross-checkable
+// against the committed baseline.
+//
 // Scaling contract (DESIGN.md section 4): GEE_BENCH_SCALE divides the
 // base graph; --batch-sizes overrides the sweep.
 #include "bench/common.hpp"
@@ -16,12 +23,15 @@
 #include <string>
 #include <vector>
 
+#include "bench/report.hpp"
+#include "obs/obs.hpp"
 #include "serve/query_engine.hpp"
 #include "serve/request.hpp"
 #include "stream/dynamic_gee.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 
 namespace {
 
@@ -45,12 +55,13 @@ std::vector<VertexQuery> random_queries(VertexId n, std::size_t count,
   return queries;
 }
 
-/// Best-of-repeats replies/sec pushing `queries` through `engine` in
-/// batch-size chunks.
-double query_rate(const QueryEngine& engine,
-                  const std::vector<VertexQuery>& queries,
-                  std::size_t batch_size) {
-  double best = 0;
+/// Per-repeat replies/sec pushing `queries` through `engine` in
+/// batch-size chunks (one entry per repeat; caller summarizes).
+std::vector<double> query_rates(const QueryEngine& engine,
+                                const std::vector<VertexQuery>& queries,
+                                std::size_t batch_size) {
+  std::vector<double> rates;
+  rates.reserve(static_cast<std::size_t>(gee::bench::repeats()));
   for (int r = 0; r < gee::bench::repeats(); ++r) {
     gee::util::Timer timer;
     std::size_t answered = 0;
@@ -60,17 +71,18 @@ double query_rate(const QueryEngine& engine,
                       .query_batch(std::span(queries).subspan(lo, hi - lo))
                       .size();
     }
-    best = std::max(best, static_cast<double>(answered) / timer.seconds());
+    rates.push_back(static_cast<double>(answered) / timer.seconds());
   }
-  return best;
+  return rates;
 }
 
-double lookup_rate(const QueryEngine& engine, VertexId n,
-                   std::size_t batch_size, std::size_t total) {
+std::vector<double> lookup_rates(const QueryEngine& engine, VertexId n,
+                                 std::size_t batch_size, std::size_t total) {
   gee::util::Xoshiro256 rng(99);
   std::vector<VertexId> ids(total);
   for (auto& v : ids) v = static_cast<VertexId>(rng.next_below(n));
-  double best = 0;
+  std::vector<double> rates;
+  rates.reserve(static_cast<std::size_t>(gee::bench::repeats()));
   for (int r = 0; r < gee::bench::repeats(); ++r) {
     gee::util::Timer timer;
     std::size_t answered = 0;
@@ -79,9 +91,19 @@ double lookup_rate(const QueryEngine& engine, VertexId n,
       answered +=
           engine.lookup_batch(std::span(ids).subspan(lo, hi - lo)).size();
     }
-    best = std::max(best, static_cast<double>(answered) / timer.seconds());
+    rates.push_back(static_cast<double>(answered) / timer.seconds());
   }
-  return best;
+  return rates;
+}
+
+/// Scraped batch-latency quantiles for the case that just ran.
+struct BatchLatency {
+  double p50, p99, p999;
+};
+
+BatchLatency scrape_batch_latency() {
+  const auto& h = gee::obs::histogram("gee.serve.batch_seconds");
+  return {h.quantile(0.50), h.quantile(0.99), h.quantile(0.999)};
 }
 
 }  // namespace
@@ -121,22 +143,72 @@ int main(int argc, char** argv) {
       n, static_cast<std::size_t>(args.get_int("queries")),
       static_cast<std::size_t>(args.get_int("fanout")), rng);
 
+  gee::bench::JsonReport report("serve");
+  report.context("scale", d);
+  report.context("queries", static_cast<std::int64_t>(queries.size()));
+  report.context("fanout", args.get_int("fanout"));
+  report.context("n", static_cast<std::int64_t>(n));
+  report.context("m", static_cast<std::int64_t>(m));
+  report.context("repeats", bench::repeats());
+
+  auto& batch_seconds = gee::obs::histogram("gee.serve.batch_seconds");
+
   gee::util::TextTable table(
-      "serving -- replies/sec by query batch size (higher is better)");
+      "serving -- replies/sec by query batch size (higher is better); "
+      "latency quantiles from the gee.serve.batch_seconds histogram");
   table.set_header({"batch", "oos serial q/s", "oos parallel q/s", "speedup",
-                    "lookup parallel q/s"});
+                    "lookup parallel q/s", "batch p50 us", "batch p99 us",
+                    "batch p999 us"});
   for (const std::int64_t b : args.get_int_list("batch-sizes")) {
     const auto batch = static_cast<std::size_t>(std::max<std::int64_t>(1, b));
-    const double s = query_rate(serial, queries, batch);
-    const double p = query_rate(parallel, queries, batch);
+
+    batch_seconds.reset();
+    const auto serial_rates = query_rates(serial, queries, batch);
+    const BatchLatency serial_lat = scrape_batch_latency();
+
+    batch_seconds.reset();
+    const auto parallel_rates = query_rates(parallel, queries, batch);
+    const BatchLatency parallel_lat = scrape_batch_latency();
+
+    const auto lookup = lookup_rates(parallel, n, batch, queries.size());
+
+    const double s_best = gee::util::quantile(serial_rates, 1.0);
+    const double p_best = gee::util::quantile(parallel_rates, 1.0);
+    const double l_best = gee::util::quantile(lookup, 1.0);
+
     table.begin_row();
     table.cell(static_cast<long long>(batch));
-    table.cell(s, 0);
-    table.cell(p, 0);
-    table.cell(p / s, 2);
-    table.cell(lookup_rate(parallel, n, batch, queries.size()), 0);
+    table.cell(s_best, 0);
+    table.cell(p_best, 0);
+    table.cell(p_best / s_best, 2);
+    table.cell(l_best, 0);
+    table.cell(parallel_lat.p50 * 1e6, 2);
+    table.cell(parallel_lat.p99 * 1e6, 2);
+    table.cell(parallel_lat.p999 * 1e6, 2);
+
+    const std::string suffix = "batch=" + std::to_string(batch);
+    report.begin_case("oos/serial/" + suffix);
+    report.metric("replies_per_sec", s_best);
+    report.metric("median_replies_per_sec",
+                  gee::util::quantile(serial_rates, 0.5));
+    report.metric("batch_p50_s", serial_lat.p50);
+    report.metric("batch_p99_s", serial_lat.p99);
+    report.metric("batch_p999_s", serial_lat.p999);
+
+    report.begin_case("oos/parallel/" + suffix);
+    report.metric("replies_per_sec", p_best);
+    report.metric("median_replies_per_sec",
+                  gee::util::quantile(parallel_rates, 0.5));
+    report.metric("batch_p50_s", parallel_lat.p50);
+    report.metric("batch_p99_s", parallel_lat.p99);
+    report.metric("batch_p999_s", parallel_lat.p999);
+
+    report.begin_case("lookup/parallel/" + suffix);
+    report.metric("replies_per_sec", l_best);
+    report.metric("median_replies_per_sec", gee::util::quantile(lookup, 0.5));
   }
 
   bench::emit(table, "serve_queries.csv");
+  report.write();
   return 0;
 }

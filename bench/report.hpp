@@ -1,0 +1,188 @@
+// Machine-readable bench baselines: BENCH_<name>.json emission.
+//
+// Every bench run leaves a diffable artifact (ROADMAP open item 3: no
+// "faster" claim without a recorded trajectory). The schema
+// (DESIGN.md section 8, "gee-bench-v1"):
+//
+//   {
+//     "schema": "gee-bench-v1",
+//     "bench": "serve",
+//     "git_sha": "8f703ff8ed47",          // GEE_GIT_SHA env, else git(1)
+//     "unix_time": 1754700000,
+//     "machine": {"host": ..., "hw_threads": ..., "omp_threads": ...},
+//     "context": {"scale": "16", ...},    // bench-specific knobs
+//     "cases": [{"name": "oos/parallel/batch=256",
+//                "metrics": {"replies_per_sec": ..., "p99_s": ...}}]
+//   }
+//
+// Case names and metric keys are the diff contract: tools/bench_diff.py
+// joins two files on case name and reports per-metric deltas (metrics
+// ending in `_s`/`_seconds` read as lower-is-better, `_per_sec` as
+// higher-is-better). Output directory: GEE_BENCH_JSON_DIR (default the
+// working directory); GEE_BENCH_JSON=0 disables emission entirely.
+#pragma once
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <ctime>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "util/env.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+
+namespace gee::bench {
+
+namespace detail {
+
+inline std::string run_git_sha() {
+  if (const auto sha = util::env_string("GEE_GIT_SHA")) return *sha;
+#ifdef GEE_BENCH_SOURCE_DIR
+  const std::string cmd = std::string("git -C \"") + GEE_BENCH_SOURCE_DIR +
+                          "\" rev-parse --short=12 HEAD 2>/dev/null";
+  if (std::FILE* pipe = ::popen(cmd.c_str(), "r")) {
+    char buf[64] = {};
+    const std::size_t n = std::fread(buf, 1, sizeof buf - 1, pipe);
+    ::pclose(pipe);
+    std::string sha(buf, n);
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+      sha.pop_back();
+    }
+    if (!sha.empty()) return sha;
+  }
+#endif
+  return "unknown";
+}
+
+inline std::string hostname() {
+  char buf[256] = {};
+  if (::gethostname(buf, sizeof buf - 1) != 0) return "unknown";
+  return buf;
+}
+
+}  // namespace detail
+
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  static bool enabled() { return util::env_or("GEE_BENCH_JSON", true); }
+
+  /// Bench-specific knob recorded under "context" (scale, repeats, ...).
+  void context(std::string key, std::string value) {
+    context_.emplace_back(std::move(key), std::move(value));
+  }
+  void context(std::string key, std::int64_t value) {
+    context(std::move(key), std::to_string(value));
+  }
+
+  /// Open a new case; subsequent metric() calls attach to it.
+  void begin_case(std::string name) {
+    cases_.push_back({std::move(name), {}});
+  }
+
+  void metric(std::string name, double value) {
+    cases_.back().metrics.emplace_back(std::move(name), value);
+  }
+
+  /// min/median of repeated wall-clock runs: the per-case summary the
+  /// regression gate diffs (min is the reporting convention, median guards
+  /// against a lucky single run).
+  void timing_metrics(const std::string& prefix,
+                      std::span<const double> seconds) {
+    metric(prefix + "_min_s", util::quantile(seconds, 0.0));
+    metric(prefix + "_median_s", util::quantile(seconds, 0.5));
+  }
+
+  /// Latency-histogram quantiles, recorded exactly as printed so the JSON
+  /// and the stdout table can be cross-checked.
+  void histogram_metrics(const std::string& prefix, const obs::Histogram& h) {
+    metric(prefix + "_p50_s", h.quantile(0.50));
+    metric(prefix + "_p99_s", h.quantile(0.99));
+    metric(prefix + "_p999_s", h.quantile(0.999));
+  }
+
+  [[nodiscard]] std::string path() const {
+    return util::env_or("GEE_BENCH_JSON_DIR", std::string(".")) + "/BENCH_" +
+           bench_name_ + ".json";
+  }
+
+  /// Serialize to path(); returns false (and logs) on I/O failure. No-op
+  /// (true) when GEE_BENCH_JSON=0.
+  bool write() const {
+    if (!enabled()) return true;
+    const std::string json = to_json();
+    const std::string file = path();
+    std::FILE* f = std::fopen(file.c_str(), "w");
+    if (f == nullptr) {
+      util::log_error("bench json: cannot open '" + file + "'");
+      return false;
+    }
+    const bool ok =
+        std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
+        std::fputc('\n', f) != EOF;
+    std::fclose(f);
+    if (ok) {
+      util::log_info("bench baseline written to " + file);
+    } else {
+      util::log_error("bench json: short write to '" + file + "'");
+    }
+    return ok;
+  }
+
+  [[nodiscard]] std::string to_json() const {
+    std::string out;
+    util::JsonWriter w(&out);
+    w.begin_object();
+    w.field("schema", "gee-bench-v1");
+    w.field("bench", bench_name_);
+    w.field("git_sha", detail::run_git_sha());
+    w.field("unix_time", static_cast<std::int64_t>(std::time(nullptr)));
+    w.key("machine");
+    w.begin_object();
+    w.field("host", detail::hostname());
+    w.field("hw_threads",
+            static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+    w.field("omp_threads", static_cast<std::int64_t>(par::num_threads()));
+    w.end_object();
+    w.key("context");
+    w.begin_object();
+    for (const auto& [k, v] : context_) w.field(k, v);
+    w.end_object();
+    w.key("cases");
+    w.begin_array();
+    for (const auto& c : cases_) {
+      w.begin_object();
+      w.field("name", c.name);
+      w.key("metrics");
+      w.begin_object();
+      for (const auto& [k, v] : c.metrics) w.field(k, v);
+      w.end_object();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return out;
+  }
+
+ private:
+  struct Case {
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+
+  std::string bench_name_;
+  std::vector<std::pair<std::string, std::string>> context_;
+  std::vector<Case> cases_;
+};
+
+}  // namespace gee::bench

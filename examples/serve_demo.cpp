@@ -2,12 +2,19 @@
 // update batches into a DynamicGee while reader threads hammer a
 // QueryEngine with mixed out-of-sample query batches and in-sample
 // lookups. Reports read QPS, write throughput, and the staleness
-// histogram the serve_max_staleness bound produced -- the knob to play
+// distribution the serve_max_staleness bound produced -- the knob to play
 // with: 0 pins every batch to the freshest epoch (every read batch takes
 // the writer's publication lock), larger bounds trade bounded staleness
 // for pins that never contend with the writer.
 //
-//   ./examples/serve_demo --rounds 400 --readers 2 --max-staleness 4
+// The staleness numbers come straight from the engine's own
+// gee.serve.staleness histogram (src/obs/) -- the demo no longer tallies
+// its own buckets, it scrapes what production monitoring would scrape.
+// --metrics-json dumps the full registry snapshot; --trace captures a
+// Chrome trace of the run (tracing-enabled builds).
+//
+//   ./examples/serve_demo --rounds 400 --readers 2 --max-staleness 4 \
+//                         --metrics-json metrics.json --trace trace.json
 #include <atomic>
 #include <cstdio>
 #include <thread>
@@ -15,11 +22,13 @@
 
 #include "gen/erdos_renyi.hpp"
 #include "gen/labels.hpp"
+#include "obs/obs.hpp"
 #include "serve/query_engine.hpp"
 #include "serve/request.hpp"
 #include "stream/dynamic_gee.hpp"
 #include "stream/update_batch.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -30,22 +39,16 @@ using gee::graph::EdgeId;
 using gee::graph::VertexId;
 using gee::graph::Weight;
 
-struct ReaderTally {
-  std::uint64_t replies = 0;
-  /// Staleness histogram: buckets 0, 1, 2, 3-4, 5-8, 9+.
-  std::uint64_t staleness[6] = {0, 0, 0, 0, 0, 0};
-
-  static std::size_t bucket(std::uint64_t s) {
-    if (s <= 2) return static_cast<std::size_t>(s);
-    if (s <= 4) return 3;
-    if (s <= 8) return 4;
-    return 5;
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    gee::util::log_error("cannot open '" + path + "'");
+    return false;
   }
-  void count(std::uint64_t s) {
-    ++replies;
-    ++staleness[bucket(s)];
-  }
-};
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  return ok;
+}
 
 }  // namespace
 
@@ -64,7 +67,15 @@ int main(int argc, char** argv) {
                   "serve_max_staleness epoch bound (0 = always freshest)",
                   "4");
   args.add_option("seed", "random seed", "1");
+  args.add_option("metrics-json",
+                  "write the obs registry snapshot to this path", "");
+  args.add_option("trace",
+                  "capture a Chrome trace of the run to this path "
+                  "(tracing-enabled builds)",
+                  "");
   if (!args.parse(argc, argv)) return 1;
+
+  if (!args.get("trace").empty()) gee::obs::set_tracing_enabled(true);
 
   const auto n = static_cast<VertexId>(args.get_int("vertices"));
   const int k = static_cast<int>(args.get_int("classes"));
@@ -88,13 +99,14 @@ int main(int argc, char** argv) {
               static_cast<long long>(serve_options.serve_max_staleness));
 
   std::atomic<bool> done{false};
-  std::vector<ReaderTally> tallies(static_cast<std::size_t>(num_readers));
+  std::vector<std::uint64_t> reply_counts(static_cast<std::size_t>(num_readers),
+                                          0);
   std::vector<std::thread> readers;
-  readers.reserve(tallies.size());
+  readers.reserve(reply_counts.size());
   for (int r = 0; r < num_readers; ++r) {
     readers.emplace_back([&, r] {
       gee::util::Xoshiro256 rng(seed + 100 + static_cast<std::uint64_t>(r));
-      ReaderTally& tally = tallies[static_cast<std::size_t>(r)];
+      std::uint64_t& replies = reply_counts[static_cast<std::size_t>(r)];
       std::vector<gee::serve::VertexQuery> queries(qbatch);
       std::vector<VertexId> ids(qbatch);
       while (!done.load(std::memory_order_acquire)) {
@@ -107,12 +119,10 @@ int main(int argc, char** argv) {
           }
         }
         for (auto& v : ids) v = static_cast<VertexId>(rng.next_below(n));
-        for (const auto& reply : engine.query_batch(queries)) {
-          tally.count(reply.staleness);
-        }
-        for (const auto& reply : engine.lookup_batch(ids)) {
-          tally.count(reply.staleness);
-        }
+        // Staleness lands in the engine's gee.serve.staleness histogram;
+        // the reader only counts replies.
+        replies += engine.query_batch(queries).size();
+        replies += engine.lookup_batch(ids).size();
       }
     });
   }
@@ -136,11 +146,8 @@ int main(int argc, char** argv) {
   for (auto& t : readers) t.join();
   const double seconds = wall.seconds();
 
-  ReaderTally total;
-  for (const auto& t : tallies) {
-    total.replies += t.replies;
-    for (std::size_t i = 0; i < 6; ++i) total.staleness[i] += t.staleness[i];
-  }
+  std::uint64_t total_replies = 0;
+  for (const auto c : reply_counts) total_replies += c;
 
   gee::util::TextTable table("mixed read/update loop -- " +
                              std::to_string(num_readers) + " readers, " +
@@ -151,18 +158,38 @@ int main(int argc, char** argv) {
     table.cell(name);
     table.cell(static_cast<long long>(value));
   };
-  row("read QPS", static_cast<double>(total.replies) / seconds);
+  row("read QPS", static_cast<double>(total_replies) / seconds);
   row("write updates/s", static_cast<double>(updates) / seconds);
   row("epochs published", static_cast<double>(dg.epoch()));
   row("engine refreshes", static_cast<double>(engine.stats().refreshes));
   std::fputs(table.to_text().c_str(), stdout);
 
-  gee::util::TextTable hist("reply staleness histogram (epochs behind)");
-  hist.set_header({"0", "1", "2", "3-4", "5-8", "9+"});
+  // Staleness distribution, scraped from the serving subsystem's own
+  // histogram (readers are joined, so this is a quiescent-point read).
+  const auto& staleness = gee::obs::histogram("gee.serve.staleness");
+  gee::util::TextTable hist(
+      "reply staleness (epochs behind; gee.serve.staleness quantile upper "
+      "bounds)");
+  hist.set_header({"replies", "mean", "p50", "p90", "p99", "p999"});
   hist.begin_row();
-  for (std::size_t i = 0; i < 6; ++i) {
-    hist.cell(static_cast<long long>(total.staleness[i]));
-  }
+  hist.cell(static_cast<long long>(staleness.count()));
+  hist.cell(staleness.mean(), 3);
+  hist.cell(staleness.quantile(0.50), 2);
+  hist.cell(staleness.quantile(0.90), 2);
+  hist.cell(staleness.quantile(0.99), 2);
+  hist.cell(staleness.quantile(0.999), 2);
   std::fputs(hist.to_text().c_str(), stdout);
+
+  if (const auto path = args.get("metrics-json"); !path.empty()) {
+    if (write_text_file(path, gee::obs::snapshot_json() + "\n")) {
+      std::printf("metrics snapshot written to %s\n", path.c_str());
+    }
+  }
+  if (const auto path = args.get("trace"); !path.empty()) {
+    if (gee::obs::write_trace_json(path)) {
+      std::printf("chrome trace written to %s (load in ui.perfetto.dev)\n",
+                  path.c_str());
+    }
+  }
   return 0;
 }

@@ -15,6 +15,7 @@
 #include "gen/labels.hpp"
 #include "graph/io.hpp"
 #include "graph/validation.hpp"
+#include "obs/obs.hpp"
 #include "stream/dynamic_gee.hpp"
 #include "stream/update_batch.hpp"
 #include "util/cli.hpp"
@@ -49,7 +50,13 @@ int main(int argc, char** argv) {
                   "stream the edge list through DynamicGee in this many "
                   "batches and report final-vs-batch max-abs error (0 = off)",
                   "0");
+  args.add_option("trace",
+                  "capture a Chrome trace of the pipeline to this path "
+                  "(load in ui.perfetto.dev; tracing-enabled builds)",
+                  "");
   if (!args.parse(argc, argv)) return 1;
+
+  if (!args.get("trace").empty()) gee::obs::set_tracing_enabled(true);
 
   gee::graph::EdgeList el;
   std::vector<std::int32_t> truth;
@@ -158,5 +165,12 @@ int main(int argc, char** argv) {
               "ARI vs factions %.3f\n",
               louvain.num_communities, louvain.modularity,
               gee::cluster::adjusted_rand_index(louvain.community, truth));
+
+  if (const auto path = args.get("trace"); !path.empty()) {
+    if (gee::obs::write_trace_json(path)) {
+      std::printf("chrome trace written to %s (load in ui.perfetto.dev)\n",
+                  path.c_str());
+    }
+  }
   return 0;
 }

@@ -1,9 +1,11 @@
 #include "gee/gee.hpp"
 
+#include <array>
 #include <stdexcept>
 
 #include "gee/backends/pass.hpp"
 #include "gee/preprocess.hpp"
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "partition/partitioner.hpp"
 #include "util/timer.hpp"
@@ -60,6 +62,7 @@ struct Prepared {
 
 Prepared prepare(VertexId n, std::span<const std::int32_t> labels,
                  const Options& options) {
+  GEE_TRACE_SPAN("gee.embed.projection");
   if (labels.size() < n) {
     throw std::invalid_argument("embed: labels shorter than vertex count");
   }
@@ -74,10 +77,38 @@ Prepared prepare(VertexId n, std::span<const std::int32_t> labels,
   return p;
 }
 
+/// Per-phase, per-backend attribution (DESIGN.md section 8). Handles are
+/// resolved once (function-local statics) so the per-call cost is a few
+/// relaxed shard increments -- nothing touches the edge-pass inner loops,
+/// which is why instrumented output stays bitwise identical.
+void record_embed_metrics(Backend backend, const Timings& t,
+                          std::uint64_t arcs) {
+  static auto& calls = obs::counter("gee.embed.calls");
+  static auto& arc_count = obs::counter("gee.embed.arcs");
+  static auto& projection_s = obs::histogram("gee.embed.projection_seconds");
+  static auto& postprocess_s = obs::histogram("gee.embed.postprocess_seconds");
+  static auto& total_s = obs::histogram("gee.embed.total_seconds");
+  static const auto edge_pass_s = [] {
+    std::array<obs::Histogram*, std::size(kAllBackends)> h{};
+    for (const Backend b : kAllBackends) {
+      h[static_cast<std::size_t>(b)] = &obs::histogram(
+          "gee.embed.edge_pass_seconds." + to_string(b));
+    }
+    return h;
+  }();
+  calls.add();
+  arc_count.add(static_cast<std::int64_t>(arcs));
+  projection_s.record(t.projection);
+  postprocess_s.record(t.postprocess);
+  total_s.record(t.total);
+  edge_pass_s[static_cast<std::size_t>(backend)]->record(t.edge_pass);
+}
+
 }  // namespace
 
 Result embed(const graph::Graph& g, std::span<const std::int32_t> labels,
              const Options& options) {
+  GEE_TRACE_SPAN("gee.embed");
   gee::par::ThreadScope threads(backend_is_serial(options.backend)
                                     ? 1
                                     : options.num_threads);
@@ -103,6 +134,7 @@ Result embed(const graph::Graph& g, std::span<const std::int32_t> labels,
                         p.z.data(), p.projection.num_classes};
 
   phase.restart();
+  gee::obs::TraceSpan edge_pass_span("gee.embed.edge_pass");
   switch (options.backend) {
     case Backend::kInterpreted: {
       const auto dense_w = build_dense_w(p.projection, labels.first(n));
@@ -150,14 +182,17 @@ Result embed(const graph::Graph& g, std::span<const std::int32_t> labels,
       detail::pass_replicated_csr(graph->out(), semantics, ctx);
       break;
   }
+  edge_pass_span.end();
   p.timings.edge_pass = phase.restart();
 
+  GEE_TRACE_SPAN("gee.embed.postprocess");
   if (options.diag_augment) {
     apply_diag_augment(p.z, p.projection, labels.first(n), lap_degrees);
   }
   if (options.correlation) normalize_rows(p.z);
   p.timings.postprocess = phase.seconds();
   p.timings.total = total.seconds();
+  record_embed_metrics(options.backend, p.timings, g.num_arcs());
 
   return Result{std::move(p.z), std::move(p.projection), p.timings,
                 options.backend};
@@ -166,6 +201,7 @@ Result embed(const graph::Graph& g, std::span<const std::int32_t> labels,
 Result embed_edges(const graph::EdgeList& edges,
                    std::span<const std::int32_t> labels,
                    const Options& options) {
+  GEE_TRACE_SPAN("gee.embed_edges");
   gee::par::ThreadScope threads(backend_is_serial(options.backend)
                                     ? 1
                                     : options.num_threads);
@@ -186,6 +222,7 @@ Result embed_edges(const graph::EdgeList& edges,
                         p.z.data(), p.projection.num_classes};
 
   gee::util::Timer phase;
+  gee::obs::TraceSpan edge_pass_span("gee.embed.edge_pass");
   switch (options.backend) {
     case Backend::kInterpreted: {
       const auto dense_w = build_dense_w(p.projection, labels.first(n));
@@ -243,13 +280,17 @@ Result embed_edges(const graph::EdgeList& edges,
     }
   }
 
+  edge_pass_span.end();
   phase.restart();
+  GEE_TRACE_SPAN("gee.embed.postprocess");
   if (options.diag_augment) {
     apply_diag_augment(p.z, p.projection, labels.first(n), lap_degrees);
   }
   if (options.correlation) normalize_rows(p.z);
   p.timings.postprocess = phase.seconds();
   p.timings.total = total.seconds();
+  record_embed_metrics(options.backend, p.timings,
+                       2 * static_cast<std::uint64_t>(edges.num_edges()));
 
   return Result{std::move(p.z), std::move(p.projection), p.timings,
                 options.backend};

@@ -1,0 +1,241 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/json.hpp"
+
+namespace gee::obs {
+
+// ----------------------------------------------------------------- Histogram
+
+namespace {
+
+std::array<double, Histogram::kNumBoundaries> build_boundaries() {
+  std::array<double, Histogram::kNumBoundaries> b{};
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    // 2^(kMinExp + i/kSubBuckets). exp2 of a quarter-integer is computed
+    // once here; every bucket_index call compares against these exact
+    // doubles, so edge placement is deterministic across runs.
+    b[i] = std::exp2(static_cast<double>(Histogram::kMinExp) +
+                     static_cast<double>(i) /
+                         static_cast<double>(Histogram::kSubBuckets));
+  }
+  return b;
+}
+
+const std::array<double, Histogram::kNumBoundaries>& boundary_table() {
+  static const auto table = build_boundaries();
+  return table;
+}
+
+/// CAS-accumulate a double stored as uint64 bits (low-rate shard sum).
+void add_double_bits(std::atomic<std::uint64_t>& bits, double delta) noexcept {
+  std::uint64_t old_bits = bits.load(std::memory_order_relaxed);
+  double old_val, new_val;
+  std::uint64_t new_bits;
+  do {
+    __builtin_memcpy(&old_val, &old_bits, sizeof old_val);
+    new_val = old_val + delta;
+    __builtin_memcpy(&new_bits, &new_val, sizeof new_bits);
+  } while (!bits.compare_exchange_weak(old_bits, new_bits,
+                                       std::memory_order_relaxed));
+}
+
+double load_double_bits(const std::atomic<std::uint64_t>& bits) noexcept {
+  const std::uint64_t b = bits.load(std::memory_order_relaxed);
+  double v;
+  __builtin_memcpy(&v, &b, sizeof v);
+  return v;
+}
+
+}  // namespace
+
+std::span<const double> Histogram::boundaries() noexcept {
+  return boundary_table();
+}
+
+std::size_t Histogram::bucket_index(double v) noexcept {
+  if (!(v >= 0)) return 0;  // negative and NaN clamp to the underflow bucket
+  const auto& b = boundary_table();
+  // First boundary strictly greater than v; lower-inclusive buckets mean a
+  // value equal to b[j] skips it and lands in bucket j+1, which b[j] opens.
+  return static_cast<std::size_t>(
+      std::upper_bound(b.begin(), b.end(), v) - b.begin());
+}
+
+void Histogram::record_n(double v, std::uint64_t n) noexcept {
+  if (n == 0) return;
+  Shard& shard = shards_[util::thread_index() % kShards];
+  shard.buckets[bucket_index(v)].fetch_add(n, std::memory_order_relaxed);
+  add_double_bits(shard.sum_bits, v * static_cast<double>(n));
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    for (const auto& b : shard.buckets) {
+      total += b.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+double Histogram::sum() const noexcept {
+  double total = 0;
+  for (const auto& shard : shards_) total += load_double_bits(shard.sum_bits);
+  return total;
+}
+
+std::vector<std::uint64_t> Histogram::merged_buckets() const {
+  std::vector<std::uint64_t> merged(kBuckets, 0);
+  for (const auto& shard : shards_) {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      merged[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  const auto merged = merged_buckets();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : merged) total += c;
+  if (total == 0) return 0.0;
+
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile, 1-based: ceil(q * total), clamped to [1, total].
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(total))));
+
+  const auto& bounds = boundary_table();
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    cumulative += merged[i];
+    if (cumulative >= rank) {
+      // Bucket 0 is [0, 2^kMinExp) -- below any measurable latency -- so it
+      // reports 0 rather than a misleading sub-nanosecond "upper bound"
+      // (integer-valued histograms like staleness read naturally this way).
+      // Other buckets report their upper edge; the overflow bucket reports
+      // the top boundary (values beyond the range cannot be bounded).
+      if (i == 0) return 0.0;
+      return i < bounds.size() ? bounds[i] : bounds.back();
+    }
+  }
+  return bounds.back();
+}
+
+void Histogram::reset() noexcept {
+  for (auto& shard : shards_) {
+    for (auto& b : shard.buckets) b.store(0, std::memory_order_relaxed);
+    shard.sum_bits.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ------------------------------------------------------------------ Registry
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  // Sorted maps: node stability gives handles process lifetime, ordering
+  // gives snapshot_json a stable field order (diffable output).
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+Registry::Impl& Registry::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto it = i.counters.find(name);
+  if (it == i.counters.end()) {
+    it = i.counters.emplace(std::string(name),
+                            std::make_unique<Counter>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto it = i.gauges.find(name);
+  if (it == i.gauges.end()) {
+    it = i.gauges.emplace(std::string(name),
+                          std::make_unique<Gauge>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto it = i.histograms.find(name);
+  if (it == i.histograms.end()) {
+    it = i.histograms.emplace(std::string(name),
+                              std::make_unique<Histogram>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::string Registry::snapshot_json() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  std::string out;
+  util::JsonWriter w(&out);
+  w.begin_object();
+
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, c] : i.counters) w.field(name, c->value());
+  w.end_object();
+
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, g] : i.gauges) w.field(name, g->value());
+  w.end_object();
+
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : i.histograms) {
+    w.key(name);
+    w.begin_object();
+    w.field("count", h->count());
+    w.field("sum", h->sum());
+    w.field("mean", h->mean());
+    w.field("p50", h->quantile(0.50));
+    w.field("p90", h->quantile(0.90));
+    w.field("p99", h->quantile(0.99));
+    w.field("p999", h->quantile(0.999));
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+  return out;
+}
+
+void Registry::reset_all() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  for (auto& [name, c] : i.counters) c->reset();
+  for (auto& [name, g] : i.gauges) g->reset();
+  for (auto& [name, h] : i.histograms) h->reset();
+}
+
+}  // namespace gee::obs

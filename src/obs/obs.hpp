@@ -1,0 +1,14 @@
+// Umbrella header for the observability layer (DESIGN.md section 8).
+//
+//   obs::counter("gee.serve.queries").add();       // sharded counter
+//   obs::histogram("gee.serve.query_seconds").record(t.seconds());
+//   GEE_TRACE_SPAN("gee.embed.edge_pass");         // RAII trace span
+//   obs::snapshot_json();                          // scrape everything
+//
+// Layering: obs depends only on util/; gee/, stream/, and serve/ depend on
+// obs. Benches and examples additionally use bench/report.hpp to persist
+// BENCH_<name>.json baselines.
+#pragma once
+
+#include "obs/metrics.hpp"  // IWYU pragma: export
+#include "obs/trace.hpp"    // IWYU pragma: export

@@ -1,0 +1,189 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/env.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
+#include "util/thread_id.hpp"
+
+namespace gee::obs {
+
+#if GEE_OBS_TRACING
+
+namespace {
+
+struct Event {
+  const char* name;  ///< string literal, by contract
+  std::uint64_t begin_ns;
+  std::uint64_t end_ns;
+};
+
+/// One thread's span buffer. Written only by its owner thread; read by
+/// trace_json()/clear_trace() at quiescent points (file-comment contract).
+struct TraceRing {
+  explicit TraceRing(std::uint32_t thread_id, std::size_t capacity)
+      : tid(thread_id), events(capacity) {}
+  std::uint32_t tid;
+  std::vector<Event> events;
+  std::uint64_t pushed = 0;  ///< total; slot = pushed % events.size()
+
+  void push(const char* name, std::uint64_t b, std::uint64_t e) noexcept {
+    events[pushed % events.size()] = Event{name, b, e};
+    ++pushed;
+  }
+};
+
+struct TraceState {
+  std::mutex mutex;
+  /// shared_ptrs keep rings of exited threads alive for export; bounded by
+  /// the number of distinct threads that ever traced.
+  std::vector<std::shared_ptr<TraceRing>> rings;
+};
+
+TraceState& state() {
+  static TraceState s;
+  return s;
+}
+
+std::size_t ring_capacity() {
+  static const auto capacity = static_cast<std::size_t>(
+      std::max<std::int64_t>(16, util::env_or("GEE_TRACE_RING_EVENTS",
+                                              std::int64_t{65536})));
+  return capacity;
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> enabled{util::env_or("GEE_TRACE", false)};
+  return enabled;
+}
+
+TraceRing& this_thread_ring() {
+  thread_local TraceRing* ring = [] {
+    auto owned =
+        std::make_shared<TraceRing>(util::thread_index(), ring_capacity());
+    TraceRing* raw = owned.get();
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.rings.push_back(std::move(owned));
+    return raw;
+  }();
+  return *ring;
+}
+
+std::chrono::steady_clock::time_point trace_epoch() noexcept {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::uint64_t trace_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - trace_epoch())
+          .count());
+}
+
+void trace_record(const char* name, std::uint64_t begin_ns,
+                  std::uint64_t end_ns) noexcept {
+  this_thread_ring().push(name, begin_ns, end_ns);
+}
+
+}  // namespace detail
+
+bool tracing_enabled() noexcept {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_tracing_enabled(bool on) noexcept {
+  // Pin the trace epoch before the first span so timestamps start near 0.
+  trace_epoch();
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+std::string trace_json() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::string out;
+  util::JsonWriter w(&out);
+  w.begin_array();
+  for (const auto& ring : s.rings) {
+    const std::size_t capacity = ring->events.size();
+    const std::uint64_t n = std::min<std::uint64_t>(ring->pushed, capacity);
+    // Oldest surviving event first: a full ring starts at the write cursor.
+    const std::uint64_t start = ring->pushed - n;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const Event& e = ring->events[(start + i) % capacity];
+      w.begin_object();
+      w.field("name", std::string_view(e.name));
+      w.field("ph", "X");  // complete event: ts + dur in microseconds
+      w.field("pid", 1);
+      w.field("tid", static_cast<std::int64_t>(ring->tid));
+      w.field("ts", static_cast<double>(e.begin_ns) / 1e3);
+      w.field("dur", static_cast<double>(e.end_ns - e.begin_ns) / 1e3);
+      w.end_object();
+    }
+  }
+  w.end_array();
+  return out;
+}
+
+void clear_trace() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (const auto& ring : s.rings) ring->pushed = 0;
+}
+
+std::size_t trace_event_count() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::size_t total = 0;
+  for (const auto& ring : s.rings) {
+    total += static_cast<std::size_t>(
+        std::min<std::uint64_t>(ring->pushed, ring->events.size()));
+  }
+  return total;
+}
+
+#else  // GEE_OBS_TRACING == 0
+
+bool tracing_enabled() noexcept { return false; }
+void set_tracing_enabled(bool) noexcept {}
+std::string trace_json() { return "[]"; }
+void clear_trace() {}
+std::size_t trace_event_count() { return 0; }
+
+#endif  // GEE_OBS_TRACING
+
+bool write_trace_json(const std::string& path) {
+#if !GEE_OBS_TRACING
+  util::log_warn("write_trace_json: tracing compiled out (GEE_OBS_TRACING=0)");
+  return false;
+#else
+  const std::string json = trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    util::log_error("write_trace_json: cannot open '" + path + "'");
+    return false;
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (ok) {
+    util::log_info("trace written to " + path + " (" +
+                   std::to_string(trace_event_count()) + " events)");
+  } else {
+    util::log_error("write_trace_json: short write to '" + path + "'");
+  }
+  return ok;
+#endif
+}
+
+}  // namespace gee::obs

@@ -1,0 +1,110 @@
+// Scoped trace spans with Chrome trace-event export.
+//
+// GEE_TRACE_SPAN("gee.embed.edge_pass") drops an RAII object that records a
+// begin/end timestamp pair into the calling thread's ring buffer; the rings
+// export as a Chrome trace-event JSON array that chrome://tracing and
+// Perfetto load directly (DESIGN.md section 8 shows the capture recipe).
+//
+// Two gates keep the cost honest:
+//  * Compile time: building with -DGEE_OBS_TRACING=0 (CMake option
+//    GEE_OBS_TRACING=OFF) turns the macro into `(void)0` -- the hot path
+//    contains no trace code at all, so the disabled build is bitwise
+//    identical to an uninstrumented one.
+//  * Run time: in tracing-enabled builds, spans record only after
+//    set_tracing_enabled(true) (or env GEE_TRACE=1 at first use). A
+//    disabled span costs one relaxed atomic load and a branch.
+//
+// Ring buffers are per thread and fixed capacity (GEE_TRACE_RING_EVENTS,
+// default 65536 events/thread); when full, the oldest events are
+// overwritten, so a long run keeps its most recent window -- the part a
+// latency investigation actually wants. Span names must be string literals
+// (the ring stores the pointer).
+//
+// Threading contract: spans may be created on any thread concurrently.
+// trace_json()/clear_trace() read/reset every thread's ring and must run at
+// a quiescent point (after parallel work joins), the same writer-side rule
+// as DynamicGee::stats().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#ifndef GEE_OBS_TRACING
+#define GEE_OBS_TRACING 1
+#endif
+
+namespace gee::obs {
+
+/// Runtime gate. Always false in GEE_OBS_TRACING=0 builds.
+[[nodiscard]] bool tracing_enabled() noexcept;
+void set_tracing_enabled(bool on) noexcept;
+
+/// Chrome trace-event JSON array of every buffered span, oldest first per
+/// thread. "[]" when tracing is compiled out or nothing was recorded.
+[[nodiscard]] std::string trace_json();
+
+/// Serialize trace_json() to a file; returns false (and logs) on I/O
+/// failure or when tracing is compiled out.
+bool write_trace_json(const std::string& path);
+
+/// Drop every buffered event (rings stay allocated).
+void clear_trace();
+
+/// Buffered events across all threads (cheap diagnostic; quiescent point).
+[[nodiscard]] std::size_t trace_event_count();
+
+#if GEE_OBS_TRACING
+
+namespace detail {
+/// Nanoseconds since the process trace epoch (steady clock).
+[[nodiscard]] std::uint64_t trace_now_ns() noexcept;
+/// Append one complete span to the calling thread's ring.
+void trace_record(const char* name, std::uint64_t begin_ns,
+                  std::uint64_t end_ns) noexcept;
+}  // namespace detail
+
+/// RAII span. `name` must be a string literal (stored by pointer).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) noexcept {
+    if (tracing_enabled()) {
+      name_ = name;
+      begin_ns_ = detail::trace_now_ns();
+    }
+  }
+  ~TraceSpan() { end(); }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Close the span before scope exit (phases that do not own a block).
+  void end() noexcept {
+    if (name_ != nullptr) {
+      detail::trace_record(name_, begin_ns_, detail::trace_now_ns());
+      name_ = nullptr;
+    }
+  }
+
+ private:
+  const char* name_ = nullptr;  // nullptr = disabled at construction
+  std::uint64_t begin_ns_ = 0;
+};
+
+#define GEE_OBS_CONCAT2(a, b) a##b
+#define GEE_OBS_CONCAT(a, b) GEE_OBS_CONCAT2(a, b)
+#define GEE_TRACE_SPAN(name) \
+  ::gee::obs::TraceSpan GEE_OBS_CONCAT(gee_trace_span_, __LINE__)(name)
+
+#else  // GEE_OBS_TRACING == 0: spans compile to nothing.
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char*) noexcept {}
+  void end() noexcept {}
+};
+
+#define GEE_TRACE_SPAN(name) ((void)0)
+
+#endif  // GEE_OBS_TRACING
+
+}  // namespace gee::obs

@@ -6,11 +6,35 @@
 #include <utility>
 
 #include "gee/embedding.hpp"
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
+#include "util/timer.hpp"
 
 namespace gee::serve {
 
 using graph::VertexId;
+
+namespace {
+
+/// Read-path metrics (DESIGN.md section 8, gee.serve.*). Process-global:
+/// every QueryEngine feeds the same series, matching the engine-agnostic
+/// gee.serve.* naming. Shards keep concurrent readers off each other's
+/// cache lines; handles resolved once.
+struct ServeMetrics {
+  obs::Counter& queries = obs::counter("gee.serve.queries");
+  obs::Counter& batches = obs::counter("gee.serve.batches");
+  obs::Counter& refreshes = obs::counter("gee.serve.refreshes");
+  obs::Histogram& query_seconds = obs::histogram("gee.serve.query_seconds");
+  obs::Histogram& batch_seconds = obs::histogram("gee.serve.batch_seconds");
+  obs::Histogram& staleness = obs::histogram("gee.serve.staleness");
+
+  static ServeMetrics& get() {
+    static ServeMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 std::vector<ClassScore> top_k_classes(std::span<const Real> row, int k) {
   std::vector<ClassScore> scores;
@@ -62,6 +86,7 @@ QueryEngine::Pin QueryEngine::pin_internal() const {
     if (cur->snap.epoch >= fresh->snap.epoch) return {std::move(cur), 0};
   }
   refreshes_.fetch_add(1, std::memory_order_relaxed);
+  ServeMetrics::get().refreshes.add();
   return {std::move(fresh), 0};
 }
 
@@ -89,10 +114,16 @@ void QueryEngine::answer_lookup(const stream::Snapshot& snap,
 }
 
 QueryReply QueryEngine::query(const VertexQuery& q) const {
+  GEE_TRACE_SPAN("gee.serve.query");
+  ServeMetrics& metrics = ServeMetrics::get();
+  gee::util::Timer timer;
   const auto pin = pin_internal();
   QueryReply reply;
   answer_oos(pin.pinned->snap, pin.staleness, q, reply);
   queries_.fetch_add(1, std::memory_order_relaxed);
+  metrics.queries.add();
+  metrics.staleness.record(static_cast<double>(pin.staleness));
+  metrics.query_seconds.record(timer.seconds());
   return reply;
 }
 
@@ -109,6 +140,9 @@ std::vector<QueryReply> QueryEngine::query_batch(
     }
   }
 
+  GEE_TRACE_SPAN("gee.serve.query_batch");
+  ServeMetrics& metrics = ServeMetrics::get();
+  gee::util::Timer timer;
   const auto pin = pin_internal();
   std::vector<QueryReply> replies(queries.size());
   gee::par::ThreadScope threads(options_.num_threads);
@@ -120,17 +154,29 @@ std::vector<QueryReply> QueryEngine::query_batch(
       /*chunk=*/4);
   batches_.fetch_add(1, std::memory_order_relaxed);
   queries_.fetch_add(queries.size(), std::memory_order_relaxed);
+  metrics.batches.add();
+  metrics.queries.add(static_cast<std::int64_t>(queries.size()));
+  // Every reply in the batch shares the pin's staleness: one shard update.
+  metrics.staleness.record_n(static_cast<double>(pin.staleness),
+                             queries.size());
+  metrics.batch_seconds.record(timer.seconds());
   return replies;
 }
 
 QueryReply QueryEngine::lookup(VertexId v) const {
+  GEE_TRACE_SPAN("gee.serve.lookup");
   if (v >= num_vertices()) {
     throw std::out_of_range("lookup: vertex out of range");
   }
+  ServeMetrics& metrics = ServeMetrics::get();
+  gee::util::Timer timer;
   const auto pin = pin_internal();
   QueryReply reply;
   answer_lookup(pin.pinned->snap, pin.staleness, v, reply);
   queries_.fetch_add(1, std::memory_order_relaxed);
+  metrics.queries.add();
+  metrics.staleness.record(static_cast<double>(pin.staleness));
+  metrics.query_seconds.record(timer.seconds());
   return reply;
 }
 
@@ -143,6 +189,9 @@ std::vector<QueryReply> QueryEngine::lookup_batch(
     }
   }
 
+  GEE_TRACE_SPAN("gee.serve.lookup_batch");
+  ServeMetrics& metrics = ServeMetrics::get();
+  gee::util::Timer timer;
   const auto pin = pin_internal();
   std::vector<QueryReply> replies(vertices.size());
   gee::par::ThreadScope threads(options_.num_threads);
@@ -154,6 +203,11 @@ std::vector<QueryReply> QueryEngine::lookup_batch(
       /*chunk=*/16);
   batches_.fetch_add(1, std::memory_order_relaxed);
   queries_.fetch_add(vertices.size(), std::memory_order_relaxed);
+  metrics.batches.add();
+  metrics.queries.add(static_cast<std::int64_t>(vertices.size()));
+  metrics.staleness.record_n(static_cast<double>(pin.staleness),
+                             vertices.size());
+  metrics.batch_seconds.record(timer.seconds());
   return replies;
 }
 

@@ -5,9 +5,11 @@
 #include <utility>
 
 #include "gee/incremental.hpp"
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "partition/partitioner.hpp"
 #include "stream/detail.hpp"
+#include "util/timer.hpp"
 
 namespace gee::stream {
 
@@ -59,6 +61,29 @@ namespace {
 /// behind than this is refreshed by a full copy instead. Small on purpose:
 /// each entry pins one coalesced batch in memory.
 constexpr std::size_t kMaxDeltaLog = 16;
+
+/// Writer-path metrics (DESIGN.md section 8, gee.stream.*). One writer by
+/// contract, so the shard increments never contend; handles resolved once.
+struct StreamMetrics {
+  obs::Counter& batches = obs::counter("gee.stream.batches");
+  obs::Counter& deltas = obs::counter("gee.stream.deltas");
+  obs::Counter& raw_ops = obs::counter("gee.stream.raw_ops");
+  obs::Counter& parallel_batches = obs::counter("gee.stream.parallel_batches");
+  obs::Counter& rebuilds = obs::counter("gee.stream.rebuilds");
+  obs::Counter& buffer_copies = obs::counter("gee.stream.buffer_copies");
+  obs::Counter& buffer_promotions =
+      obs::counter("gee.stream.buffer_promotions");
+  obs::Histogram& apply_seconds = obs::histogram("gee.stream.apply_seconds");
+  obs::Histogram& batch_deltas = obs::histogram("gee.stream.batch_deltas");
+  obs::Gauge& live_edges = obs::gauge("gee.stream.live_edges");
+  obs::Gauge& removed_since_rebuild =
+      obs::gauge("gee.stream.removed_since_rebuild");
+
+  static StreamMetrics& get() {
+    static StreamMetrics m;
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -113,8 +138,14 @@ void DynamicGee::init(std::span<const std::int32_t> labels) {
 }
 
 DynamicGee::ApplyReport DynamicGee::apply(const UpdateBatch& batch) {
+  GEE_TRACE_SPAN("gee.stream.apply");
+  StreamMetrics& metrics = StreamMetrics::get();
+  gee::util::Timer apply_timer;
+
+  gee::obs::TraceSpan coalesce_span("gee.stream.coalesce");
   batch.validate(n_);
   auto deltas = batch.coalesce();
+  coalesce_span.end();
 
   ApplyReport report;
   report.raw_ops = batch.size();
@@ -164,18 +195,36 @@ DynamicGee::ApplyReport DynamicGee::apply(const UpdateBatch& batch) {
   // for embed() (a pinned writer must not burst-steal reader cores).
   gee::par::ThreadScope threads(options_.num_threads);
   auto work = acquire_writable();
-  report.parallel = apply_deltas(*work, deltas);
-  publish(std::move(work), std::move(deltas));
+  {
+    GEE_TRACE_SPAN("gee.stream.apply_deltas");
+    report.parallel = apply_deltas(*work, deltas);
+  }
+  {
+    GEE_TRACE_SPAN("gee.stream.publish");
+    publish(std::move(work), std::move(deltas));
+  }
 
   ++stats_.batches;
   ++(report.parallel ? stats_.parallel_batches : stats_.serial_batches);
   stats_.deltas_applied += report.deltas;
 
+  // The drift decision itself is part of the apply's observable behavior:
+  // the gauges let a dashboard see a rebuild coming before it fires.
   if (drift_exceeded()) {
     rebuild();
     report.rebuilt = true;
   }
   report.epoch = epoch();
+
+  metrics.batches.add();
+  metrics.deltas.add(static_cast<std::int64_t>(report.deltas));
+  metrics.raw_ops.add(static_cast<std::int64_t>(report.raw_ops));
+  if (report.parallel) metrics.parallel_batches.add();
+  metrics.batch_deltas.record(static_cast<double>(report.deltas));
+  metrics.apply_seconds.record(apply_timer.seconds());
+  metrics.live_edges.set(static_cast<double>(live_count_));
+  metrics.removed_since_rebuild.set(
+      static_cast<double>(stats_.removed_since_rebuild));
   return report;
 }
 
@@ -235,10 +284,12 @@ std::unique_ptr<core::Embedding> DynamicGee::acquire_writable() {
         (!log_.empty() && log_.front().first <= buffer_epoch + 1 &&
          log_.back().first == at_epoch);
     if (replayable) {
+      GEE_TRACE_SPAN("gee.stream.promote_buffer");
       for (const auto& [log_epoch, log_deltas] : log_) {
         if (log_epoch > buffer_epoch) apply_deltas(*buffer, log_deltas);
       }
       ++stats_.buffer_promotions;
+      StreamMetrics::get().buffer_promotions.add();
       return std::move(buffer);
     }
   }
@@ -247,6 +298,7 @@ std::unique_ptr<core::Embedding> DynamicGee::acquire_writable() {
   }
   // Too stale to replay (or fresh): full copy of the published state.
   // Published buffers are never written, so this read needs no lock.
+  GEE_TRACE_SPAN("gee.stream.copy_buffer");
   const Snapshot current = snapshot();
   const Real* src = current.z->data();
   Real* dst = buffer->data();
@@ -254,6 +306,7 @@ std::unique_ptr<core::Embedding> DynamicGee::acquire_writable() {
       std::size_t{0}, buffer->size(),
       [&](std::size_t i) { dst[i] = src[i]; }, /*grain=*/1 << 16);
   ++stats_.buffer_copies;
+  StreamMetrics::get().buffer_copies.add();
   return std::move(buffer);
 }
 
@@ -313,6 +366,8 @@ bool DynamicGee::drift_exceeded() const noexcept {
 }
 
 void DynamicGee::rebuild() {
+  GEE_TRACE_SPAN("gee.stream.rebuild");
+  StreamMetrics::get().rebuilds.add();
   // Deterministic edge list from the live multiset (parallel edges are
   // pre-merged per pair -- Z is linear in the edge multiset, so the merged
   // weight yields the same embedding as the individual copies).

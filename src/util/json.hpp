@@ -1,0 +1,122 @@
+// Minimal streaming JSON writer.
+//
+// The observability layer exports metric snapshots and Chrome trace events,
+// and the bench harness persists BENCH_<name>.json baselines; all of them
+// need structurally valid JSON and none of them need a DOM. This writer
+// appends to a caller-owned string, tracks nesting for comma placement, and
+// formats doubles with enough digits to round-trip (so two bench runs that
+// measured the same value diff identically).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gee::util {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string* out) : out_(out) {}
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  /// Object key; must be followed by exactly one value or container.
+  void key(std::string_view name) {
+    comma();
+    write_string(name);
+    out_->push_back(':');
+    pending_value_ = true;
+  }
+
+  void value(std::string_view s) {
+    comma();
+    write_string(s);
+  }
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b) {
+    comma();
+    out_->append(b ? "true" : "false");
+  }
+  void value(double d) {
+    comma();
+    char buf[32];
+    // %.17g round-trips every finite double; JSON has no inf/nan literals.
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    std::string_view text(buf);
+    if (text == "inf") text = "1e308";
+    if (text == "-inf") text = "-1e308";
+    if (text == "nan" || text == "-nan") text = "null";
+    out_->append(text);
+  }
+  void value(std::int64_t v) {
+    comma();
+    out_->append(std::to_string(v));
+  }
+  void value(std::uint64_t v) {
+    comma();
+    out_->append(std::to_string(v));
+  }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+
+  /// Convenience: key + scalar value.
+  template <class T>
+  void field(std::string_view name, const T& v) {
+    key(name);
+    value(v);
+  }
+
+ private:
+  void open(char c) {
+    comma();
+    out_->push_back(c);
+    needs_comma_.push_back(false);
+  }
+  void close(char c) {
+    needs_comma_.pop_back();
+    out_->push_back(c);
+    if (!needs_comma_.empty()) needs_comma_.back() = true;
+  }
+  /// Emit the separating comma where needed; keys suppress it for their value.
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!needs_comma_.empty()) {
+      if (needs_comma_.back()) out_->push_back(',');
+      needs_comma_.back() = true;
+    }
+  }
+  void write_string(std::string_view s) {
+    out_->push_back('"');
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_->append("\\\""); break;
+        case '\\': out_->append("\\\\"); break;
+        case '\n': out_->append("\\n"); break;
+        case '\r': out_->append("\\r"); break;
+        case '\t': out_->append("\\t"); break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out_->append(buf);
+          } else {
+            out_->push_back(c);
+          }
+      }
+    }
+    out_->push_back('"');
+  }
+
+  std::string* out_;
+  std::vector<char> needs_comma_;  // one flag per open container
+  bool pending_value_ = false;     // a key was just written
+};
+
+}  // namespace gee::util

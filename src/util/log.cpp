@@ -1,13 +1,25 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "util/thread_id.hpp"
+
 namespace gee::util {
 
 namespace {
+
+/// Steady-clock seconds since the first log call. Monotonic by
+/// construction: interleaved parallel diagnostics sort by prefix even when
+/// the wall clock steps.
+double log_uptime_seconds() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 LogLevel level_from_env() {
   const char* v = std::getenv("GEE_LOG_LEVEL");
@@ -44,7 +56,11 @@ void set_log_level(LogLevel level) {
 
 void log_at(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
-  std::fprintf(stderr, "[gee %s] %s\n", level_name(level), msg.c_str());
+  // Monotonic timestamp + dense thread id so interleaved parallel
+  // diagnostics are attributable. Diagnostics stay on stderr only; stdout
+  // remains machine-parseable bench/example output.
+  std::fprintf(stderr, "[%12.6f t%02u gee %s] %s\n", log_uptime_seconds(),
+               thread_index(), level_name(level), msg.c_str());
 }
 
 }  // namespace gee::util

@@ -4,6 +4,12 @@
 // variable ("debug", "info", "warn", "error"; default "info"). Logging is
 // deliberately tiny: benches and examples print their results on stdout and
 // use the log only for diagnostics, so stdout stays machine-parseable.
+//
+// Each line carries a steady-clock monotonic timestamp (seconds since the
+// first log call) and the caller's dense thread index
+// (util::thread_index()), e.g. `[    1.042317 t03 gee INFO] ...`, so
+// interleaved parallel diagnostics are attributable to a thread and
+// orderable in time.
 #pragma once
 
 #include <string>

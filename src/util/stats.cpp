@@ -56,6 +56,12 @@ double percentile_sorted(std::span<const double> sorted, double q) {
   return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
 }
 
+double quantile(std::span<const double> values, double q) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, q);
+}
+
 Summary summarize(std::span<const double> values) {
   Summary s;
   s.count = values.size();

@@ -56,6 +56,12 @@ Summary summarize(std::span<const double> values);
 /// Linear-interpolation percentile of a *sorted* sample, q in [0,1].
 double percentile_sorted(std::span<const double> sorted, double q);
 
+/// Batch-side quantile of an *unsorted* sample (copies and sorts
+/// internally), q in [0,1]. The bench JSON emitter reports min/median of
+/// repeated runs through this; prefer percentile_sorted when the caller
+/// already holds a sorted sample.
+double quantile(std::span<const double> values, double q);
+
 /// Run `fn` `repeats` times, returning each run's wall-clock seconds.
 /// Used by the bench harness; first (warm-up) run can be discarded by caller.
 template <class Fn>

@@ -1,0 +1,25 @@
+// Dense process-local thread indices.
+//
+// std::this_thread::get_id() is opaque and OS thread ids are sparse; the
+// observability layer (src/obs/) shards its counters by thread and the log
+// prefixes lines with an attributable id, both of which want a small dense
+// integer. Indices are assigned on first use, never reused: a process that
+// churns short-lived threads can exceed any fixed shard count, so shard
+// consumers take the index modulo their shard width.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace gee::util {
+
+/// Monotonically assigned, dense id of the calling thread (0 is the first
+/// caller, normally main). Constant for the thread's lifetime.
+inline std::uint32_t thread_index() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace gee::util

@@ -1,0 +1,396 @@
+// Tests for src/obs/: metrics registry (counters, gauges, log-bucketed
+// histograms) and trace spans.
+//
+// The determinism contracts matter more than the usual happy paths here:
+// histogram bucket boundaries are lower-inclusive edges of a fixed table
+// (a value exactly on boundary i always lands in bucket i+1, on every run),
+// counters must merge exactly after concurrent increments (this file runs
+// under TSan in CI -- the sharded relaxed-atomic scheme must be both
+// race-free and lossless), and exported trace/snapshot JSON must parse.
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using gee::obs::Counter;
+using gee::obs::Gauge;
+using gee::obs::Histogram;
+using gee::obs::Registry;
+
+// ------------------------------------------------------------ JSON checker
+
+/// Minimal recursive-descent JSON well-formedness check (no DOM): enough to
+/// reject unbalanced braces, trailing commas, bad escapes, and bare words.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          if (pos_ + 4 >= s_.size()) return false;
+          pos_ += 4;
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    const std::string w(word);
+    if (s_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\t' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+bool json_well_formed(const std::string& text) {
+  return JsonChecker(text).valid();
+}
+
+TEST(JsonCheckerSelfTest, AcceptsAndRejects) {
+  EXPECT_TRUE(json_well_formed(R"({"a":[1,2.5e-3,"x\n"],"b":{},"c":null})"));
+  EXPECT_FALSE(json_well_formed(R"({"a":1,})"));
+  EXPECT_FALSE(json_well_formed(R"({"a":})"));
+  EXPECT_FALSE(json_well_formed(R"([1,2)"));
+  EXPECT_FALSE(json_well_formed("{} trailing"));
+}
+
+// ---------------------------------------------------------------- Counter
+
+TEST(CounterTest, SingleThreadedExact) {
+  Counter c("test.count");
+  EXPECT_EQ(c.value(), 0);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.add(-2);
+  EXPECT_EQ(c.value(), 40);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(c.name(), "test.count");
+}
+
+TEST(CounterTest, MergeAfterConcurrentIncrementsIsExact) {
+  // The lossless-merge contract: per-thread shards plus relaxed increments
+  // must still sum to exactly threads * per_thread once the writers join.
+  // Under TSan (CI job) this also proves the scheme is race-free.
+  Counter c("test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::int64_t>(kThreads) * kPerThread);
+}
+
+// ------------------------------------------------------------------ Gauge
+
+TEST(GaugeTest, SetAndRead) {
+  Gauge g("test.gauge");
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.25);
+  EXPECT_EQ(g.value(), 3.25);
+  g.set(-1e300);
+  EXPECT_EQ(g.value(), -1e300);
+  g.reset();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+// -------------------------------------------------------------- Histogram
+
+TEST(HistogramTest, BucketBoundariesAreExact) {
+  // Lower-inclusive edges: a value exactly on boundaries()[i] opens bucket
+  // i+1; one ulp below it still belongs to bucket i. This is the
+  // process-invariant determinism the mergeability story rests on.
+  const auto bounds = Histogram::boundaries();
+  ASSERT_EQ(bounds.size(), Histogram::kNumBoundaries);
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    EXPECT_EQ(Histogram::bucket_index(bounds[i]), i + 1)
+        << "value on boundary " << i;
+    const double below = std::nextafter(bounds[i], 0.0);
+    EXPECT_EQ(Histogram::bucket_index(below), i) << "value below boundary "
+                                                 << i;
+  }
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(-1.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<double>::quiet_NaN()),
+            0u);
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<double>::infinity()),
+            Histogram::kBuckets - 1);
+}
+
+TEST(HistogramTest, BoundaryTableShape) {
+  const auto bounds = Histogram::boundaries();
+  // 2^(1/4) growth from 2^kMinExp to 2^kMaxExp, strictly ascending.
+  EXPECT_DOUBLE_EQ(bounds.front(), std::exp2(Histogram::kMinExp));
+  EXPECT_DOUBLE_EQ(bounds.back(), std::exp2(Histogram::kMaxExp));
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(HistogramTest, CountSumMean) {
+  Histogram h("test.hist");
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  h.record(1e-3);
+  h.record(2e-3);
+  h.record_n(4e-3, 2);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_NEAR(h.sum(), 11e-3, 1e-12);
+  EXPECT_NEAR(h.mean(), 2.75e-3, 1e-12);
+}
+
+TEST(HistogramTest, QuantileIsBucketUpperBound) {
+  Histogram h("test.hist.q");
+  const double v = 1e-3;
+  for (int i = 0; i < 100; ++i) h.record(v);
+  // All mass in one bucket: every quantile is that bucket's upper edge,
+  // which is the smallest boundary strictly above (or equal-as-next-edge
+  // to) the recorded value -- within one 2^(1/4) step of it.
+  const double q50 = h.quantile(0.5);
+  const double q999 = h.quantile(0.999);
+  EXPECT_EQ(q50, q999);
+  EXPECT_GE(q50, v);
+  EXPECT_LE(q50, v * std::exp2(0.25) * (1 + 1e-12));
+}
+
+TEST(HistogramTest, QuantileRankOrdering) {
+  Histogram h("test.hist.rank");
+  // 90 fast, 10 slow: p50 reports the fast bucket, p99 the slow one.
+  for (int i = 0; i < 90; ++i) h.record(1e-4);
+  for (int i = 0; i < 10; ++i) h.record(1e-1);
+  EXPECT_LT(h.quantile(0.5), 1e-3);
+  EXPECT_GT(h.quantile(0.95), 1e-2);
+  EXPECT_GE(h.quantile(1.0), h.quantile(0.0));
+}
+
+TEST(HistogramTest, BucketZeroQuantileReadsAsZero) {
+  // Integer-valued histograms (staleness in epochs) put their zeros in
+  // bucket 0; reporting that bucket's sub-nanosecond upper edge would be
+  // noise, so the quantile reads 0 exactly.
+  Histogram h("test.hist.zero");
+  h.record_n(0.0, 9);
+  h.record(3.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_GE(h.quantile(0.95), 3.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordCountIsExact) {
+  Histogram h("test.hist.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(1e-6 * static_cast<double>(1 + t));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (const auto b : h.merged_buckets()) bucket_total += b;
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST(HistogramTest, MergedBucketsMatchRecordedPlacement) {
+  Histogram h("test.hist.buckets");
+  const double v = 3.7e-2;
+  h.record_n(v, 5);
+  const auto buckets = h.merged_buckets();
+  ASSERT_EQ(buckets.size(), Histogram::kBuckets);
+  EXPECT_EQ(buckets[Histogram::bucket_index(v)], 5u);
+}
+
+// --------------------------------------------------------------- Registry
+
+TEST(RegistryTest, HandlesAreStableAndNamed) {
+  auto& c1 = gee::obs::counter("test.registry.counter");
+  auto& c2 = gee::obs::counter("test.registry.counter");
+  EXPECT_EQ(&c1, &c2);
+  auto& h = gee::obs::histogram("test.registry.hist");
+  EXPECT_EQ(h.name(), "test.registry.hist");
+}
+
+TEST(RegistryTest, SnapshotJsonWellFormed) {
+  gee::obs::counter("test.snapshot.counter").add(7);
+  gee::obs::gauge("test.snapshot.gauge").set(1.5);
+  gee::obs::histogram("test.snapshot.hist").record(2e-3);
+  const std::string json = gee::obs::snapshot_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"test.snapshot.counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.snapshot.gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.snapshot.hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(RegistryTest, ResetAllZeroes) {
+  auto& c = gee::obs::counter("test.reset.counter");
+  auto& h = gee::obs::histogram("test.reset.hist");
+  c.add(5);
+  h.record(1.0);
+  Registry::instance().reset_all();
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+// ------------------------------------------------------------------ Trace
+
+#if GEE_OBS_TRACING
+
+TEST(TraceTest, DisabledRecordsNothing) {
+  gee::obs::set_tracing_enabled(false);
+  gee::obs::clear_trace();
+  { GEE_TRACE_SPAN("test.disabled"); }
+  EXPECT_EQ(gee::obs::trace_event_count(), 0u);
+}
+
+TEST(TraceTest, ExportIsWellFormedChromeTrace) {
+  gee::obs::clear_trace();
+  gee::obs::set_tracing_enabled(true);
+  {
+    GEE_TRACE_SPAN("test.outer");
+    { GEE_TRACE_SPAN("test.inner"); }
+  }
+  std::thread other([] { GEE_TRACE_SPAN("test.other_thread"); });
+  other.join();
+  gee::obs::set_tracing_enabled(false);
+
+  EXPECT_EQ(gee::obs::trace_event_count(), 3u);
+  const std::string json = gee::obs::trace_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  // Chrome trace-event essentials Perfetto keys on.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.other_thread\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+
+  gee::obs::clear_trace();
+  EXPECT_EQ(gee::obs::trace_event_count(), 0u);
+}
+
+TEST(TraceTest, ExplicitEndClosesSpanOnce) {
+  gee::obs::clear_trace();
+  gee::obs::set_tracing_enabled(true);
+  {
+    gee::obs::TraceSpan span("test.explicit_end");
+    span.end();
+    span.end();  // second end is a no-op, not a second event
+  }
+  gee::obs::set_tracing_enabled(false);
+  EXPECT_EQ(gee::obs::trace_event_count(), 1u);
+  gee::obs::clear_trace();
+}
+
+#endif  // GEE_OBS_TRACING
+
+}  // namespace

@@ -75,6 +75,61 @@ TEST(RunningStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(b.mean(), 2.0);
 }
 
+TEST(RunningStats, MergeEmptyIntoEmpty) {
+  RunningStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+  EXPECT_EQ(a.min(), 0.0);
+  EXPECT_EQ(a.max(), 0.0);
+}
+
+TEST(RunningStats, MergeSingleSampleAccumulators) {
+  // Degenerate shards are the common case for fine-grained parallel
+  // reductions: each holds one sample, so m2 is 0 on both sides and the
+  // variance must come entirely from the cross term.
+  RunningStats a, b;
+  a.push(2.0);
+  b.push(6.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 8.0);  // ((2-4)^2 + (6-4)^2) / (2-1)
+  EXPECT_EQ(a.min(), 2.0);
+  EXPECT_EQ(a.max(), 6.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 8.0);
+}
+
+TEST(RunningStats, MergeSingleIntoMany) {
+  RunningStats whole, many, one;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) {
+    whole.push(x);
+    many.push(x);
+  }
+  whole.push(10.0);
+  one.push(10.0);
+  many.merge(one);
+  EXPECT_EQ(many.count(), whole.count());
+  EXPECT_NEAR(many.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(many.variance(), whole.variance(), 1e-12);
+  EXPECT_EQ(many.max(), 10.0);
+}
+
+TEST(Quantile, SortsInternally) {
+  const std::vector<double> xs{40, 0, 30, 10, 20};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(gee::util::quantile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(gee::util::quantile(xs, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(gee::util::quantile(xs, 1.0), 40.0);
+}
+
+TEST(Quantile, EdgeCases) {
+  EXPECT_EQ(gee::util::quantile({}, 0.5), 0.0);
+  const std::vector<double> one{7.0};
+  EXPECT_EQ(gee::util::quantile(one, 0.0), 7.0);
+  EXPECT_EQ(gee::util::quantile(one, 1.0), 7.0);
+}
+
 TEST(Percentile, EdgeCases) {
   const std::vector<double> one{7.0};
   EXPECT_EQ(percentile_sorted(one, 0.5), 7.0);

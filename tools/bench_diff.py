@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Compare two gee-bench-v1 JSON files (bench/report.hpp output).
+
+Joins cases by name and prints per-metric deltas. Direction is inferred
+from the metric-name suffix conventions of DESIGN.md section 8:
+
+  *_per_sec, *_per_second           higher is better
+  *_s, *_seconds                    lower is better
+  anything else                     informational (no better/worse verdict)
+
+Exit status is 0 unless --fail-above is given, in which case any
+worse-direction delta exceeding the threshold (percent) fails the run --
+that mode is for CI gating once baselines are trustworthy; by default the
+tool is informational.
+
+  tools/bench_diff.py bench/baselines/BENCH_serve.json BENCH_serve.json
+  tools/bench_diff.py --fail-above 10 old.json new.json
+"""
+
+import argparse
+import json
+import sys
+
+try:  # die quietly when piped into head(1)
+    from signal import SIG_DFL, SIGPIPE, signal
+    signal(SIGPIPE, SIG_DFL)
+except ImportError:
+    pass
+
+
+def direction(metric: str) -> int:
+    """+1 higher-better, -1 lower-better, 0 informational."""
+    if metric.endswith(("_per_sec", "_per_second")):
+        return 1
+    if metric.endswith(("_s", "_seconds")):
+        return -1
+    return 0
+
+
+def load_cases(path: str) -> dict:
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "gee-bench-v1":
+        sys.exit(f"error: {path}: not a gee-bench-v1 file "
+                 f"(schema={doc.get('schema')!r})")
+    return doc, {c["name"]: c["metrics"] for c in doc.get("cases", [])}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument("--fail-above", type=float, metavar="PCT", default=None,
+                        help="exit 1 if any directional metric regresses by "
+                             "more than PCT percent")
+    args = parser.parse_args()
+
+    old_doc, old_cases = load_cases(args.old)
+    new_doc, new_cases = load_cases(args.new)
+
+    print(f"old: {args.old} (git {old_doc.get('git_sha', '?')}, "
+          f"host {old_doc.get('machine', {}).get('host', '?')})")
+    print(f"new: {args.new} (git {new_doc.get('git_sha', '?')}, "
+          f"host {new_doc.get('machine', {}).get('host', '?')})")
+    if old_doc.get("machine") != new_doc.get("machine"):
+        print("note: machine fields differ; absolute comparisons are "
+              "cross-hardware")
+    print()
+
+    header = f"{'case/metric':58s} {'old':>14s} {'new':>14s} {'delta':>9s}"
+    print(header)
+    print("-" * len(header))
+
+    regressions = []
+    for name in sorted(old_cases):
+        if name not in new_cases:
+            print(f"{name:58s} {'(case missing in new)':>38s}")
+            continue
+        old_m, new_m = old_cases[name], new_cases[name]
+        for metric in sorted(old_m):
+            if metric not in new_m:
+                print(f"{name + '/' + metric:58s} {'(metric missing)':>38s}")
+                continue
+            ov, nv = old_m[metric], new_m[metric]
+            if ov == 0:
+                pct_str, worse = "n/a", False
+            else:
+                pct = 100.0 * (nv - ov) / abs(ov)
+                d = direction(metric)
+                worse = d != 0 and pct * d < 0 and abs(pct) > 1e-9
+                marker = "" if d == 0 else (" WORSE" if worse else "")
+                pct_str = f"{pct:+8.1f}%{marker}"
+                if worse and args.fail_above is not None \
+                        and abs(pct) > args.fail_above:
+                    regressions.append((name, metric, pct))
+            print(f"{name + '/' + metric:58s} {ov:14.6g} {nv:14.6g} {pct_str}")
+    for name in sorted(set(new_cases) - set(old_cases)):
+        print(f"{name:58s} {'(new case, no baseline)':>38s}")
+
+    if regressions:
+        print(f"\n{len(regressions)} metric(s) regressed beyond "
+              f"{args.fail_above}%:")
+        for name, metric, pct in regressions:
+            print(f"  {name}/{metric}: {pct:+.1f}%")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
