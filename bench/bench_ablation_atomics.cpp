@@ -38,8 +38,8 @@ int main() {
   gee::util::TextTable table(
       "A1 -- atomic vs unsafe vs race-free designs (edge-pass seconds)");
   table.set_header({"graph", "atomics", "unsafe", "pull", "partitioned",
-                    "replicated", "unsafe/atomics", "partitioned/atomics",
-                    "mass kept by unsafe"});
+                    "part-blocked", "replicated", "unsafe/atomics",
+                    "partitioned/atomics", "mass kept by unsafe"});
 
   struct Shape {
     const char* name;
@@ -65,9 +65,16 @@ int main() {
     const double pull = bench::time_backend(prepared, Backend::kParallelPull);
     // First kPartitioned call also builds the partition plan; time_backend's
     // best-of-N reporting (projection + edge_pass only) matches the other
-    // columns, and later repeats hit the plan cached on the graph.
+    // columns, and later repeats hit the plan cached on the graph. The
+    // blocked column (256 KiB cap, a separate cached plan) measures the
+    // write-locality-vs-read-locality trade of cache-blocked schedules
+    // (Options::partition_block_bytes -- off by default, measured slower
+    // on the baseline machine).
     const double partitioned =
         bench::time_backend(prepared, Backend::kPartitioned);
+    const double part_blocked = bench::time_backend(
+        prepared, gee::core::Options{.backend = Backend::kPartitioned,
+                                     .partition_block_bytes = 256 << 10});
     // kReplicated needs one n x K tile per thread; skip the column rather
     // than OOM a many-core machine at low GEE_BENCH_SCALE.
     const bool run_replicated =
@@ -91,6 +98,7 @@ int main() {
     table.cell(unsafe, 4);
     table.cell(pull, 4);
     table.cell(partitioned, 4);
+    table.cell(part_blocked, 4);
     if (run_replicated) {
       table.cell(replicated, 4);
     } else {

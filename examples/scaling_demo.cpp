@@ -83,15 +83,30 @@ int main(int argc, char** argv) {
     if (backend == Backend::kCompiledSerial) {
       compiled_serial_time = result.timings.edge_pass;
     }
-    table.begin_row();
-    table.cell(gee::core::to_string(backend));
-    table.cell(gee::util::format_seconds(result.timings.edge_pass));
-    table.cell(gee::util::format_seconds(result.timings.total));
-    table.cell(compiled_serial_time > 0
-                   ? gee::util::format_double(
-                         compiled_serial_time / result.timings.edge_pass, 3) +
-                         "x"
-                   : "-");
+    auto emit_row = [&](const std::string& name,
+                        const gee::core::Timings& timings) {
+      table.begin_row();
+      table.cell(name);
+      table.cell(gee::util::format_seconds(timings.edge_pass));
+      table.cell(gee::util::format_seconds(timings.total));
+      table.cell(compiled_serial_time > 0
+                     ? gee::util::format_double(
+                           compiled_serial_time / timings.edge_pass, 3) +
+                           "x"
+                     : "-");
+    };
+    emit_row(gee::core::to_string(backend), result.timings);
+    if (backend == Backend::kPartitioned) {
+      // Same embedding bitwise, different schedule geometry: this row
+      // shows what the 256 KiB cache-blocked plan costs or buys on the
+      // current machine (see Options::partition_block_bytes on why it is
+      // off by default).
+      const auto blocked = gee::core::embed(
+          g, labels,
+          {.backend = Backend::kPartitioned,
+           .partition_block_bytes = 256 << 10});
+      emit_row("partitioned (blocked 256K)", blocked.timings);
+    }
   }
   table.print(std::cout);
 

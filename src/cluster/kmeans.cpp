@@ -7,19 +7,18 @@
 
 #include "parallel/parallel_for.hpp"
 #include "parallel/reduce.hpp"
+#include "simd/simd.hpp"
 #include "util/rng.hpp"
 
 namespace gee::cluster {
 
 namespace {
 
+/// K-wide squared distance via the SIMD layer. A reassociating reduction
+/// (ulp class vs a scalar loop), which k-means tolerates: distances feed
+/// comparisons and a convergence threshold, not accumulated state.
 double sq_dist(const double* a, const double* b, std::size_t dim) {
-  double sum = 0;
-  for (std::size_t d = 0; d < dim; ++d) {
-    const double diff = a[d] - b[d];
-    sum += diff * diff;
-  }
-  return sum;
+  return gee::simd::squared_distance(a, b, dim);
 }
 
 /// k-means++: each next center is sampled proportional to squared distance
@@ -110,8 +109,8 @@ KMeansResult kmeans(std::span<const double> data, std::size_t n,
       const auto c = static_cast<std::size_t>(r.assignment[i]);
       counts[c]++;
       const double* point = data.data() + i * dim;
-      double* target = sums.data() + c * dim;
-      for (std::size_t d = 0; d < dim; ++d) target[d] += point[d];
+      // Elementwise-exact SIMD add: bitwise identical to the scalar loop.
+      gee::simd::add(sums.data() + c * dim, point, dim);
     }
     for (int c = 0; c < k; ++c) {
       const auto cc = static_cast<std::size_t>(c);

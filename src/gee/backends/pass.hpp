@@ -76,11 +76,15 @@ void pass_partitioned(const partition::EdgePartitionPlan& plan,
 
 /// Thread-replicated accumulation (Backend::kReplicated): per-worker
 /// private Z tiles over a slice of the arcs, then a parallel tree
-/// reduction into ctx.z.
+/// reduction into ctx.z. `precision` selects the tile element type
+/// (Options::replicated_precision); the output and the tree combine are
+/// always Real.
 void pass_replicated_csr(const graph::Csr& arcs, ArcSemantics semantics,
-                         const PassContext& ctx);
+                         const PassContext& ctx,
+                         Precision precision = Precision::kDouble);
 void pass_replicated_edges(const graph::EdgeList& edges,
-                           const PassContext& ctx);
+                           const PassContext& ctx,
+                           Precision precision = Precision::kDouble);
 
 /// Boxed-value bytecode interpreter (Backend::kInterpreted). `dense_w` is
 /// the n x k dense projection matrix (Algorithm 1 reads W(v, Y(v)) by
@@ -91,6 +95,21 @@ void pass_interpreted_edges(const graph::EdgeList& edges,
                             const PassContext& ctx, const Real* dense_w);
 
 // ------------------------------------------------------------ shared inline
+
+/// Hint the caches about an upcoming contributor's label and weight reads
+/// -- the two data-dependent loads of every update. Entry streams visit
+/// `other` in data order, so hardware prefetchers can't help; issuing the
+/// hint a few entries ahead overlaps the misses with current-entry work.
+/// Pure hint: no effect on results.
+inline void prefetch_vertex_data(const PassContext& ctx, VertexId v) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(ctx.labels + v, /*rw=*/0, /*locality=*/1);
+  __builtin_prefetch(ctx.vertex_weight + v, /*rw=*/0, /*locality=*/1);
+#else
+  (void)ctx;
+  (void)v;
+#endif
+}
 
 /// Line 10: source row u accumulates dest v's class mass. The per-neighbor
 /// step itself lives in oos.hpp so the serving path shares it bitwise.

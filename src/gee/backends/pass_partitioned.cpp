@@ -20,6 +20,15 @@ namespace gee::core::detail {
 static_assert(std::is_same_v<Real, partition::Real>,
               "TilePool/plan scratch precision must match core::Real");
 
+namespace {
+
+/// How far ahead of the current entry the prefetch hints run: enough to
+/// cover a DRAM miss at ~4 entries' work per miss, small enough that the
+/// hinted lines survive until use.
+constexpr std::size_t kPrefetchDistance = 16;
+
+}  // namespace
+
 void pass_partitioned(const partition::EdgePartitionPlan& plan,
                       const PassContext& ctx) {
   // Dynamic one-block-at-a-time scheduling: blocks are entry-balanced by
@@ -28,16 +37,38 @@ void pass_partitioned(const partition::EdgePartitionPlan& plan,
   gee::par::parallel_for_dynamic(0, plan.num_blocks, [&](int p) {
     const auto block = plan.block(p);
     const std::size_t count = block.rows.size();
-    for (std::size_t i = 0; i < count; ++i) {
+    // One entry of Algorithm 1, applied in stored (arc) order -- the
+    // bitwise-equality invariant. With a cache-blocked plan the z writes
+    // span only this block's [row_lo, row_hi) slice, so the only
+    // data-dependent misses left are the labels/vertex_weight reads the
+    // prefetch hints target.
+    const auto step = [&](std::size_t i) {
       const VertexId other = block.others[i];
       const std::int32_t y = ctx.labels[other];
-      if (y < 0) continue;
+      if (y < 0) return;
       const Real w = block.weights.empty()
                          ? Real{1}
                          : static_cast<Real>(block.weights[i]);
       ctx.z[static_cast<std::size_t>(block.rows[i]) * ctx.k + y] +=
           ctx.vertex_weight[other] * w;
+    };
+    std::size_t i = 0;
+    if (count > kPrefetchDistance + 4) {
+      // Unrolled body: 4 hints then 4 updates per round, entries strictly
+      // in order.
+      const std::size_t last = count - kPrefetchDistance - 4;
+      for (; i <= last; i += 4) {
+        prefetch_vertex_data(ctx, block.others[i + kPrefetchDistance]);
+        prefetch_vertex_data(ctx, block.others[i + kPrefetchDistance + 1]);
+        prefetch_vertex_data(ctx, block.others[i + kPrefetchDistance + 2]);
+        prefetch_vertex_data(ctx, block.others[i + kPrefetchDistance + 3]);
+        step(i);
+        step(i + 1);
+        step(i + 2);
+        step(i + 3);
+      }
     }
+    for (; i < count; ++i) step(i);
   }, /*chunk=*/1);
 }
 

@@ -6,11 +6,19 @@
 // src/partition/). Where kPartitioned removes contention by splitting the
 // row space, kReplicated removes it by replicating the row space: workers
 // keep the cheap source-partitioned arc traversal (contiguous CSR reads)
-// and pay T * n * K doubles of scratch instead -- leased from the TilePool
+// and pay T * n * K cells of scratch instead -- leased from the TilePool
 // so a stream of embed() calls allocates the scratch once.
 //
 // Deterministic at a fixed thread count: worker t owns a fixed slice of
 // the arcs, and the reduction tree's shape depends only on the tile count.
+//
+// Precision policy (Options::replicated_precision, DESIGN.md section 9):
+// the tiles are scratch, so their element type is a free choice. kDouble
+// is the reference. kFloat stores and adds in float (half the tile
+// bandwidth; error ~ float ulp of the largest per-cell partial). kBf16
+// stores bf16 and computes each add in float (a quarter of the bandwidth;
+// error ~ bf16's 8-bit significand). Both reduce tile leaves into Real
+// with the same fixed tree, so the loss is confined to the tile stage.
 #include <algorithm>
 #include <vector>
 
@@ -18,11 +26,48 @@
 #include "parallel/parallel_for.hpp"
 #include "partition/partitioner.hpp"
 #include "partition/tile_accumulator.hpp"
+#include "simd/bf16.hpp"
 
 namespace gee::core::detail {
 
-void pass_replicated_csr(const graph::Csr& arcs, ArcSemantics semantics,
-                         const PassContext& ctx) {
+namespace {
+
+/// Per-precision tile traits: the cell type, the per-edge add (which owns
+/// any storage conversion), and the leaf widening used by the reduce.
+struct DoubleTile {
+  using Cell = Real;
+  static void add(Cell& cell, Real delta) { cell += delta; }
+  static void reduce(const partition::TileAccumulator& acc, Real* out) {
+    acc.reduce_into(out);
+  }
+};
+
+struct FloatTile {
+  using Cell = float;
+  static void add(Cell& cell, Real delta) {
+    cell += static_cast<float>(delta);
+  }
+  static void reduce(const partition::TileAccumulator& acc, Real* out) {
+    acc.reduce_converted_into<float>(out, [](float x) { return x; });
+  }
+};
+
+struct Bf16Tile {
+  using Cell = simd::bf16_t;
+  static void add(Cell& cell, Real delta) {
+    cell = simd::float_to_bf16(simd::bf16_to_float(cell) +
+                               static_cast<float>(delta));
+  }
+  static void reduce(const partition::TileAccumulator& acc, Real* out) {
+    acc.reduce_converted_into<simd::bf16_t>(
+        out, [](simd::bf16_t x) { return simd::bf16_to_float(x); });
+  }
+};
+
+template <class Tile>
+void replicated_csr(const graph::Csr& arcs, ArcSemantics semantics,
+                    const PassContext& ctx) {
+  using Cell = typename Tile::Cell;
   const VertexId n = arcs.num_vertices();
   const std::size_t cells =
       static_cast<std::size_t>(n) * static_cast<std::size_t>(ctx.k);
@@ -35,30 +80,38 @@ void pass_replicated_csr(const graph::Csr& arcs, ArcSemantics semantics,
   acc.zero_fill();
   gee::par::parallel_team([&](int tid, int team) {
     for (int t = tid; t < tiles; t += team) {
-      Real* tile = acc.tile(t);
-      const PassContext local{ctx.labels, ctx.vertex_weight, tile, ctx.k};
+      Cell* tile = acc.tile_as<Cell>(t);
+      const auto add = [](Cell& cell, Real delta) { Tile::add(cell, delta); };
       for (VertexId u = slices[t]; u < slices[t + 1]; ++u) {
         const auto neigh = arcs.neighbors(u);
         const auto weights = arcs.edge_weights(u);
+        Cell* const row_u = tile + static_cast<std::size_t>(u) * ctx.k;
         for (std::size_t j = 0; j < neigh.size(); ++j) {
+          if (j + 4 < neigh.size()) {
+            prefetch_vertex_data(ctx, neigh[j + 4]);
+          }
           const VertexId v = neigh[j];
           const graph::Weight w = weights.empty() ? graph::Weight{1}
                                                   : weights[j];
-          update_dest_side(local, u, v, w,
-                           [](Real& cell, Real delta) { cell += delta; });
+          // Dest-side (line 11): row v accumulates u's class mass.
+          accumulate_neighbor_mass(ctx.labels, ctx.vertex_weight,
+                                   tile + static_cast<std::size_t>(v) * ctx.k,
+                                   u, static_cast<Real>(w), add);
           if (semantics == ArcSemantics::kBoth) {
-            update_src_side(local, u, v, w,
-                            [](Real& cell, Real delta) { cell += delta; });
+            // Src-side (line 10): row u accumulates v's class mass.
+            accumulate_neighbor_mass(ctx.labels, ctx.vertex_weight, row_u, v,
+                                     static_cast<Real>(w), add);
           }
         }
       }
     }
   });
-  acc.reduce_into(ctx.z);
+  Tile::reduce(acc, ctx.z);
 }
 
-void pass_replicated_edges(const graph::EdgeList& edges,
-                           const PassContext& ctx) {
+template <class Tile>
+void replicated_edges(const graph::EdgeList& edges, const PassContext& ctx) {
+  using Cell = typename Tile::Cell;
   const std::size_t cells =
       static_cast<std::size_t>(edges.num_vertices()) *
       static_cast<std::size_t>(ctx.k);
@@ -72,24 +125,63 @@ void pass_replicated_edges(const graph::EdgeList& edges,
   acc.zero_fill();
   gee::par::parallel_team([&](int tid, int team) {
     for (int t = tid; t < tiles; t += team) {
-      Real* tile = acc.tile(t);
-      const PassContext local{ctx.labels, ctx.vertex_weight, tile, ctx.k};
+      Cell* tile = acc.tile_as<Cell>(t);
+      const auto add = [](Cell& cell, Real delta) { Tile::add(cell, delta); };
       const auto [lo, hi] = gee::par::block_range(
           static_cast<std::size_t>(m), static_cast<std::size_t>(tiles),
           static_cast<std::size_t>(t));
       for (std::size_t e = lo; e < hi; ++e) {
+        if (e + 4 < hi) {
+          prefetch_vertex_data(ctx, srcs[e + 4]);
+          prefetch_vertex_data(ctx, dsts[e + 4]);
+        }
         const VertexId u = srcs[e];
         const VertexId v = dsts[e];
         const graph::Weight w = weights.empty() ? graph::Weight{1}
                                                 : weights[e];
-        update_src_side(local, u, v, w,
-                        [](Real& cell, Real delta) { cell += delta; });
-        update_dest_side(local, u, v, w,
-                         [](Real& cell, Real delta) { cell += delta; });
+        // Src-side first, dest-side second: the serial reference order.
+        accumulate_neighbor_mass(ctx.labels, ctx.vertex_weight,
+                                 tile + static_cast<std::size_t>(u) * ctx.k, v,
+                                 static_cast<Real>(w), add);
+        accumulate_neighbor_mass(ctx.labels, ctx.vertex_weight,
+                                 tile + static_cast<std::size_t>(v) * ctx.k, u,
+                                 static_cast<Real>(w), add);
       }
     }
   });
-  acc.reduce_into(ctx.z);
+  Tile::reduce(acc, ctx.z);
+}
+
+}  // namespace
+
+void pass_replicated_csr(const graph::Csr& arcs, ArcSemantics semantics,
+                         const PassContext& ctx, Precision precision) {
+  switch (precision) {
+    case Precision::kDouble:
+      replicated_csr<DoubleTile>(arcs, semantics, ctx);
+      break;
+    case Precision::kFloat:
+      replicated_csr<FloatTile>(arcs, semantics, ctx);
+      break;
+    case Precision::kBf16:
+      replicated_csr<Bf16Tile>(arcs, semantics, ctx);
+      break;
+  }
+}
+
+void pass_replicated_edges(const graph::EdgeList& edges,
+                           const PassContext& ctx, Precision precision) {
+  switch (precision) {
+    case Precision::kDouble:
+      replicated_edges<DoubleTile>(edges, ctx);
+      break;
+    case Precision::kFloat:
+      replicated_edges<FloatTile>(edges, ctx);
+      break;
+    case Precision::kBf16:
+      replicated_edges<Bf16Tile>(edges, ctx);
+      break;
+  }
 }
 
 }  // namespace gee::core::detail

@@ -5,6 +5,7 @@
 
 #include "parallel/parallel_for.hpp"
 #include "parallel/reduce.hpp"
+#include "simd/simd.hpp"
 
 namespace gee::core {
 
@@ -18,14 +19,15 @@ void Embedding::clear() {
 }
 
 void normalize_rows(Embedding& z) {
-  const int k = z.dim();
+  // simd::sum_squares is a reassociating reduction (ulp class) but every
+  // backend normalizes through this one function, so cross-backend
+  // equality classes are unaffected; simd::scale is elementwise-exact.
+  const auto k = static_cast<std::size_t>(z.dim());
   gee::par::parallel_for(VertexId{0}, z.num_vertices(), [&](VertexId v) {
-    const auto row = z.row(v);
-    Real sq = 0;
-    for (int c = 0; c < k; ++c) sq += row[c] * row[c];
+    Real* row = z.row(v).data();
+    const Real sq = simd::sum_squares(row, k);
     if (sq == 0) return;
-    const Real inv = Real{1} / std::sqrt(sq);
-    for (int c = 0; c < k; ++c) row[c] *= inv;
+    simd::scale(row, k, Real{1} / std::sqrt(sq));
   }, /*grain=*/256);
 }
 
@@ -39,15 +41,9 @@ Real max_abs_diff(const Embedding& a, const Embedding& b) {
 }
 
 int argmax_class(std::span<const Real> row) {
-  int best = -1;
-  Real best_val = 0;
-  for (std::size_t c = 0; c < row.size(); ++c) {
-    if (row[c] > best_val) {
-      best_val = row[c];
-      best = static_cast<int>(c);
-    }
-  }
-  return best;
+  // Exact-select class: comparisons don't round, so the SIMD path returns
+  // the identical winner (first occurrence of the maximum).
+  return simd::argmax_positive(row.data(), row.size());
 }
 
 int argmax_row(const Embedding& z, VertexId v) {

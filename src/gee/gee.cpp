@@ -27,6 +27,15 @@ std::string to_string(Backend backend) {
   return "?";
 }
 
+std::string to_string(Precision precision) {
+  switch (precision) {
+    case Precision::kDouble: return "double";
+    case Precision::kFloat: return "float";
+    case Precision::kBf16: return "bf16";
+  }
+  return "?";
+}
+
 namespace {
 
 using detail::ArcSemantics;
@@ -167,11 +176,15 @@ Result embed(const graph::Graph& g, std::span<const std::int32_t> labels,
       // (the reweighting itself is still paid per call).
       const std::uint32_t variant =
           options.laplacian ? (1u | (options.diag_augment ? 2u : 0u)) : 0u;
+      const partition::BlockingSpec spec{
+          partition::resolve_num_blocks(options.partition_blocks),
+          partition::block_row_cap(options.partition_block_bytes,
+                                   p.projection.num_classes)};
       const auto plan = partition::plan_for(
           g, graph->out(),
           semantics == ArcSemantics::kBoth ? partition::UpdateSides::kBoth
                                            : partition::UpdateSides::kDestOnly,
-          partition::resolve_num_blocks(options.partition_blocks), variant);
+          spec, variant);
       // First call pays partitioning (reported like embed_edges' CSR
       // build); later calls on the same graph hit the AuxCache.
       p.timings.graph_build = phase.restart();
@@ -179,7 +192,8 @@ Result embed(const graph::Graph& g, std::span<const std::int32_t> labels,
       break;
     }
     case Backend::kReplicated:
-      detail::pass_replicated_csr(graph->out(), semantics, ctx);
+      detail::pass_replicated_csr(graph->out(), semantics, ctx,
+                                  options.replicated_precision);
       break;
   }
   edge_pass_span.end();
@@ -241,14 +255,17 @@ Result embed_edges(const graph::EdgeList& edges,
       break;
     case Backend::kPartitioned: {
       const auto plan = partition::build_plan(
-          *list, partition::resolve_num_blocks(options.partition_blocks));
+          *list, partition::BlockingSpec{
+                     partition::resolve_num_blocks(options.partition_blocks),
+                     partition::block_row_cap(options.partition_block_bytes,
+                                              p.projection.num_classes)});
       p.timings.graph_build = phase.restart();
       detail::pass_partitioned(plan, ctx);
       p.timings.edge_pass = phase.seconds();
       break;
     }
     case Backend::kReplicated:
-      detail::pass_replicated_edges(*list, ctx);
+      detail::pass_replicated_edges(*list, ctx, options.replicated_precision);
       p.timings.edge_pass = phase.seconds();
       break;
     case Backend::kLigraSerial:

@@ -65,6 +65,20 @@ static_assert(static_cast<std::size_t>(Backend::kReplicated) + 1 ==
 
 [[nodiscard]] std::string to_string(Backend backend);
 
+/// Accumulation precision of the replicated backend's private tiles
+/// (Options::replicated_precision). Tiles are scratch -- the output Z is
+/// always Real -- so this trades per-tile bandwidth/footprint against
+/// rounding confined to the tile stage. Equality classes vs kDouble are
+/// documented in DESIGN.md section 9 and asserted by the conformance
+/// harness.
+enum class Precision : std::uint8_t {
+  kDouble,  ///< Real tiles: the reference behavior
+  kFloat,   ///< float tiles, float per-edge adds, Real tree reduce
+  kBf16,    ///< bf16-storage tiles, float compute per add, Real tree reduce
+};
+
+[[nodiscard]] std::string to_string(Precision precision);
+
 struct Options {
   Backend backend = Backend::kLigraParallel;
 
@@ -95,6 +109,24 @@ struct Options {
   /// The embedding is identical for every P (see Backend::kPartitioned);
   /// P only shapes load balance and the per-block working set.
   int partition_blocks = 0;
+
+  /// Cache-blocking byte budget for Backend::kPartitioned: blocks from
+  /// `partition_blocks` whose Z slice (rows x K x 8 bytes) would exceed
+  /// this are subdivided into equal row ranges so the scatter's write
+  /// window stays cache-resident. The embedding is bitwise identical for
+  /// every value -- subdividing never reorders a cell's accumulation --
+  /// but localizing the writes scatters the source-side label/weight
+  /// reads, and on the measurement machine that trade loses at every
+  /// geometry (DESIGN.md section 9), so the default is off (<= 0: one
+  /// block per thread). Measure before enabling: bench_micro's
+  /// `partitioned` vs `partitioned_blocked` cases are the A/B.
+  std::int64_t partition_block_bytes = 0;
+
+  /// Tile precision for Backend::kReplicated (ignored by every other
+  /// backend). kDouble preserves that backend's documented equality
+  /// class; kFloat/kBf16 trade tile precision for bandwidth and are
+  /// accurate to their storage format's ulp (DESIGN.md section 9).
+  Precision replicated_precision = Precision::kDouble;
 
   /// Streaming (src/stream/ DynamicGee): a batch with at least this many
   /// coalesced updates is bucketed through the edge partitioner and applied

@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "parallel/parallel_for.hpp"
 #include "partition/tile_pool.hpp"
 #include "util/buffer.hpp"
 
@@ -53,12 +54,55 @@ class TileAccumulator {
     return tiles_[t].data();
   }
 
+  /// Reinterpret tile t's storage as cells() elements of T -- the
+  /// reduced-precision tile modes (float, simd::bf16_t) of the replicated
+  /// backend. Leases are sized in doubles, so any T no wider than Real
+  /// fits, and the 64-byte buffer base satisfies any T's alignment.
+  /// zero_fill() stays valid: all-zero bytes are zero in every such T.
+  template <class T>
+  [[nodiscard]] T* tile_as(int t) noexcept {
+    static_assert(sizeof(T) <= sizeof(Real));
+    return reinterpret_cast<T*>(tiles_[t].data());
+  }
+  template <class T>
+  [[nodiscard]] const T* tile_as(int t) const noexcept {
+    static_assert(sizeof(T) <= sizeof(Real));
+    return reinterpret_cast<const T*>(tiles_[t].data());
+  }
+
   /// Zero every tile, each on a distinct team thread (first-touch: tile t's
   /// pages land on the NUMA node of the worker that will fill tile t).
   void zero_fill();
 
   /// out[i] += tree-sum over tiles of tile[t][i], parallel across cells.
+  /// SIMD builds run the tree lane-wise over 4 cells at a time -- the
+  /// per-cell tree shape is unchanged, so the result stays bitwise equal
+  /// to the scalar path.
   void reduce_into(Real* out) const;
+
+  /// Reduced-precision reduce: out[i] += tree-sum of convert(tile_as<T>
+  /// [t][i]), same fixed tree shape, leaves widened to Real by `convert`
+  /// (e.g. simd::bf16_to_float). Combination happens in Real, so the
+  /// precision loss is confined to what the tiles stored.
+  template <class T, class ConvertFn>
+  void reduce_converted_into(Real* out, ConvertFn&& convert) const {
+    const int nt = num_tiles();
+    if (nt == 0) return;
+    std::vector<const T*> tiles(static_cast<std::size_t>(nt));
+    for (int t = 0; t < nt; ++t) tiles[static_cast<std::size_t>(t)] =
+        tile_as<T>(t);
+    const auto tree = [&](const auto& self, std::size_t i, int lo,
+                          int hi) -> Real {
+      if (hi - lo == 1) {
+        return static_cast<Real>(convert(tiles[static_cast<std::size_t>(lo)][i]));
+      }
+      const int mid = lo + (hi - lo) / 2;
+      return self(self, i, lo, mid) + self(self, i, mid, hi);
+    };
+    gee::par::parallel_for(std::size_t{0}, cells_, [&](std::size_t i) {
+      out[i] += tree(tree, i, 0, nt);
+    }, /*grain=*/1 << 14);
+  }
 
  private:
   std::size_t cells_ = 0;

@@ -8,6 +8,7 @@
 #include "gee/embedding.hpp"
 #include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
+#include "simd/simd.hpp"
 #include "util/timer.hpp"
 
 namespace gee::serve {
@@ -95,7 +96,8 @@ stream::Snapshot QueryEngine::pin() const { return pin_internal().pinned->snap; 
 void QueryEngine::answer_oos(const stream::Snapshot& snap,
                              std::uint64_t staleness, const VertexQuery& q,
                              QueryReply& reply) const {
-  reply.row.assign(static_cast<std::size_t>(num_classes()), Real{0});
+  reply.row.resize(static_cast<std::size_t>(num_classes()));
+  simd::zero(reply.row.data(), reply.row.size());
   core::embed_one_vertex(source_->projection(), source_->labels(),
                          q.neighbors, reply.row);
   reply.predicted = core::argmax_class(reply.row);

@@ -1,0 +1,38 @@
+// bfloat16 storage helpers for the mixed-precision tile policy
+// (DESIGN.md section 9). bf16 is the top 16 bits of an IEEE float32:
+// same exponent range, 8-bit significand. We use it as a *storage*
+// format only -- tiles hold bf16, arithmetic happens in float after
+// widening -- which is why the only operations here are the two
+// conversions.
+//
+// float -> bf16 rounds to nearest-even on the truncated bits, the same
+// rule hardware bf16 units use, so results are reproducible against any
+// native implementation. NaN payloads may collapse but NaNs never reach
+// these paths.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace gee::simd {
+
+using bf16_t = std::uint16_t;
+
+[[nodiscard]] inline float bf16_to_float(bf16_t h) noexcept {
+  const std::uint32_t bits = static_cast<std::uint32_t>(h) << 16;
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+[[nodiscard]] inline bf16_t float_to_bf16(float f) noexcept {
+  std::uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  // Round to nearest, ties to even: add 0x7FFF plus the current LSB of
+  // the surviving half, then truncate.
+  const std::uint32_t lsb = (bits >> 16) & 1u;
+  bits += 0x7FFFu + lsb;
+  return static_cast<bf16_t>(bits >> 16);
+}
+
+}  // namespace gee::simd

@@ -1,0 +1,57 @@
+// PaddedRowBuffer: an R x K scratch matrix whose rows are padded to the
+// SIMD lane multiple (simd::padded_size) and whose base is 64-byte
+// aligned, so every row starts on a vector-friendly boundary and a
+// K-wide vector loop never needs a scalar tail. The padding lanes are
+// zero-filled on (re)allocation and preserved as zero by the simd row
+// primitives applied to stride()-wide rows (zero/scale keep zeros at
+// zero; axpy/add read matching zero lanes), so reductions over stride()
+// are safe too.
+//
+// Used where code owns its dense scratch (k-means centers, serving-side
+// row synthesis) rather than an externally shaped n x K matrix.
+#pragma once
+
+#include <cstddef>
+
+#include "simd/simd.hpp"
+#include "util/buffer.hpp"
+
+namespace gee::simd {
+
+class PaddedRowBuffer {
+ public:
+  PaddedRowBuffer() = default;
+  PaddedRowBuffer(std::size_t rows, std::size_t k) { reset(rows, k); }
+
+  /// Reallocate for `rows` rows of logical width `k`; all cells
+  /// (padding included) are zeroed.
+  void reset(std::size_t rows, std::size_t k) {
+    rows_ = rows;
+    k_ = k;
+    stride_ = padded_size(k);
+    buf_.reset(rows_ * stride_);
+    for (std::size_t r = 0; r < rows_; ++r) zero(row(r), stride_);
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+  /// Allocated row width: padded_size(k), a multiple of kDoubleLanes.
+  [[nodiscard]] std::size_t stride() const noexcept { return stride_; }
+
+  [[nodiscard]] double* row(std::size_t r) noexcept {
+    return buf_.data() + r * stride_;
+  }
+  [[nodiscard]] const double* row(std::size_t r) const noexcept {
+    return buf_.data() + r * stride_;
+  }
+  [[nodiscard]] double* data() noexcept { return buf_.data(); }
+  [[nodiscard]] const double* data() const noexcept { return buf_.data(); }
+
+ private:
+  util::UninitBuffer<double> buf_;  // 64-byte aligned base
+  std::size_t rows_ = 0;
+  std::size_t k_ = 0;
+  std::size_t stride_ = 0;
+};
+
+}  // namespace gee::simd

@@ -1,0 +1,28 @@
+#include "simd/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace gee::simd {
+
+namespace {
+
+bool initial_enabled() noexcept {
+  const char* env = std::getenv("GEE_SIMD_DISABLE");
+  return !(env != nullptr && env[0] == '1' && env[1] == '\0');
+}
+
+std::atomic<bool>& flag() noexcept {
+  static std::atomic<bool> f{initial_enabled()};
+  return f;
+}
+
+}  // namespace
+
+bool enabled() noexcept { return flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept {
+  flag().store(on, std::memory_order_relaxed);
+}
+
+}  // namespace gee::simd

@@ -36,6 +36,7 @@
 
 #include "gee/gee.hpp"
 #include "graph/builder.hpp"
+#include "simd/simd.hpp"
 #include "testing/random_graphs.hpp"
 #include "util/env.hpp"
 
@@ -145,6 +146,107 @@ TEST(BackendConformance, EveryBackendMatchesCompiledSerial) {
         }
       }
     }
+  }
+}
+
+// Cache-blocked partition schedules (Options::partition_block_bytes) must
+// preserve kPartitioned's bitwise class for EVERY geometry: subdividing
+// blocks adds boundaries but never reorders a cell's accumulation
+// (DESIGN.md section 9). Sweeps caps from "every row its own block"-small
+// to 256 KiB, crossed with explicit block counts, on both input paths at
+// multiple threads. The default-option matrix above runs the uncapped
+// default; this pins the invariant across the whole knob range.
+TEST(BackendConformance, BlockedPlansStayBitwiseEqualToSerial) {
+  for (const auto& rg : testutil::random_graph_matrix(4242, small_params())) {
+    const graph::Graph g =
+        graph::Graph::build(rg.edges, graph::GraphKind::kUndirected);
+    const Options serial{.backend = Backend::kCompiledSerial};
+    const auto ref_graph = core::embed(g, rg.labels, serial);
+    const auto ref_edges = core::embed_edges(rg.edges, rg.labels, serial);
+    for (const std::int64_t block_bytes : {0, 512, 4096, 32768, 256 << 10}) {
+      for (const int blocks : {0, 7}) {
+        SCOPED_TRACE(rg.name + " / block_bytes=" +
+                     std::to_string(block_bytes) + " / blocks=" +
+                     std::to_string(blocks));
+        const Options options{.backend = Backend::kPartitioned,
+                              .num_threads = 4,
+                              .partition_blocks = blocks,
+                              .partition_block_bytes = block_bytes};
+        const auto got_graph = core::embed(g, rg.labels, options);
+        EXPECT_EQ(max_abs_diff(got_graph.z, ref_graph.z), 0.0);
+        const auto got_edges = core::embed_edges(rg.edges, rg.labels, options);
+        EXPECT_EQ(max_abs_diff(got_edges.z, ref_edges.z), 0.0);
+      }
+    }
+  }
+}
+
+// The SIMD layer's documented equality classes, observed end-to-end
+// through embed(): the edge pass itself is scalar scatter (no lane math),
+// so plain embeddings are bitwise-invariant to the runtime SIMD switch;
+// kReplicated's lane-wise tree reduce preserves the per-cell tree shape
+// (bitwise); row normalization (correlation) reduces with lane partials,
+// so SIMD on-vs-off lands in the ulp class there.
+TEST(BackendConformance, SimdOnOffClasses) {
+  const bool prev = simd::enabled();
+  for (const auto& rg : testutil::random_graph_matrix(5151, small_params())) {
+    const graph::Graph g =
+        graph::Graph::build(rg.edges, graph::GraphKind::kUndirected);
+    for (const Backend backend :
+         {Backend::kCompiledSerial, Backend::kPartitioned,
+          Backend::kReplicated}) {
+      SCOPED_TRACE(rg.name + " / " + core::to_string(backend));
+      const Options plain{.backend = backend, .num_threads = 4};
+      Options corr = plain;
+      corr.correlation = true;
+
+      simd::set_enabled(false);
+      const auto plain_scalar = core::embed(g, rg.labels, plain);
+      const auto corr_scalar = core::embed(g, rg.labels, corr);
+      simd::set_enabled(true);
+      const auto plain_simd = core::embed(g, rg.labels, plain);
+      const auto corr_simd = core::embed(g, rg.labels, corr);
+      simd::set_enabled(prev);
+
+      EXPECT_EQ(max_abs_diff(plain_simd.z, plain_scalar.z), 0.0)
+          << "plain embeddings must be bitwise-invariant to the SIMD switch";
+      EXPECT_LT(max_abs_diff(corr_simd.z, corr_scalar.z), kUlpTol)
+          << "correlation normalization is the reassociating (ulp) class";
+    }
+  }
+  simd::set_enabled(prev);
+}
+
+// Reduced-precision replicated tiles (Options::replicated_precision):
+// kFloat carries float's ~2^-24 relative error per tile add, kBf16 an
+// 8-bit significand's ~2^-9 -- both confined to the tile stage (the tree
+// reduce widens to double). Tolerances are relative to the reference's
+// largest magnitude with an order of magnitude of headroom over the
+// accumulated worst case at these degrees.
+TEST(BackendConformance, ReplicatedReducedPrecisionClasses) {
+  for (const auto& rg : testutil::random_graph_matrix(6363, small_params())) {
+    const graph::Graph g =
+        graph::Graph::build(rg.edges, graph::GraphKind::kUndirected);
+    const Options base{.backend = Backend::kReplicated, .num_threads = 4};
+    const auto ref = core::embed(g, rg.labels, base);
+    const core::Embedding zero(ref.z.num_vertices(), ref.z.dim());
+    const double scale = max_abs_diff(ref.z, zero);
+    ASSERT_GT(scale, 0.0);
+
+    Options opt = base;
+    opt.replicated_precision = core::Precision::kFloat;
+    const auto as_float = core::embed(g, rg.labels, opt);
+    EXPECT_LT(max_abs_diff(as_float.z, ref.z), 1e-4 * scale)
+        << rg.name << ": float tiles out of class";
+
+    opt.replicated_precision = core::Precision::kBf16;
+    const auto as_bf16 = core::embed(g, rg.labels, opt);
+    EXPECT_LT(max_abs_diff(as_bf16.z, ref.z), 5e-2 * scale)
+        << rg.name << ": bf16 tiles out of class";
+
+    // Reduced precision is still deterministic at a fixed thread count.
+    const auto again = core::embed(g, rg.labels, opt);
+    EXPECT_EQ(max_abs_diff(again.z, as_bf16.z), 0.0);
   }
 }
 

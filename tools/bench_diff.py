@@ -8,13 +8,29 @@ from the metric-name suffix conventions of DESIGN.md section 8:
   *_s, *_seconds                    lower is better
   anything else                     informational (no better/worse verdict)
 
+Anything present in only one file is reported, never silently skipped:
+baseline cases/metrics absent from the candidate print a "missing" marker
+(and fail the run only under --fail-missing, since filtered runs --
+e.g. CI's bench_micro smoke subset -- legitimately produce partial files),
+and candidate-only entries print a "no baseline" marker.
+
 Exit status is 0 unless --fail-above is given, in which case any
-worse-direction delta exceeding the threshold (percent) fails the run --
-that mode is for CI gating once baselines are trustworthy; by default the
-tool is informational.
+worse-direction delta exceeding its threshold (percent) fails the run.
+Thresholds come from --fail-above PCT uniformly, or per metric via
+--thresholds pointing at a gee-bench-thresholds-v1 JSON file:
+
+  {"schema": "gee-bench-thresholds-v1",
+   "default_pct": 25,
+   "overrides": {"BM_EdgePass/partitioned/real_time_per_iter_s": 15}}
+
+Override keys are "case/metric"; unmatched metrics use default_pct. With
+--thresholds, --fail-above may be omitted (default_pct gates alone). The
+threshold file is calibrated from repeat-run noise (see
+bench/baselines/thresholds.json for this repo's measurements).
 
   tools/bench_diff.py bench/baselines/BENCH_serve.json BENCH_serve.json
   tools/bench_diff.py --fail-above 10 old.json new.json
+  tools/bench_diff.py --thresholds bench/baselines/thresholds.json old.json new.json
 """
 
 import argparse
@@ -46,6 +62,16 @@ def load_cases(path: str) -> dict:
     return doc, {c["name"]: c["metrics"] for c in doc.get("cases", [])}
 
 
+def load_thresholds(path: str) -> tuple:
+    """(default_pct or None, {"case/metric": pct})."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "gee-bench-thresholds-v1":
+        sys.exit(f"error: {path}: not a gee-bench-thresholds-v1 file "
+                 f"(schema={doc.get('schema')!r})")
+    return doc.get("default_pct"), dict(doc.get("overrides", {}))
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -54,7 +80,24 @@ def main() -> int:
     parser.add_argument("--fail-above", type=float, metavar="PCT", default=None,
                         help="exit 1 if any directional metric regresses by "
                              "more than PCT percent")
+    parser.add_argument("--thresholds", metavar="FILE", default=None,
+                        help="gee-bench-thresholds-v1 JSON with default_pct "
+                             "and per-case/metric overrides")
+    parser.add_argument("--fail-missing", action="store_true",
+                        help="also exit 1 when a baseline case or metric is "
+                             "absent from the candidate file (off by default: "
+                             "filtered runs produce partial files)")
     args = parser.parse_args()
+
+    default_pct, overrides = (args.fail_above, {})
+    if args.thresholds:
+        file_default, overrides = load_thresholds(args.thresholds)
+        if default_pct is None:
+            default_pct = file_default
+    gating = default_pct is not None or bool(overrides)
+
+    def threshold_for(name: str, metric: str):
+        return overrides.get(f"{name}/{metric}", default_pct)
 
     old_doc, old_cases = load_cases(args.old)
     new_doc, new_cases = load_cases(args.new)
@@ -73,14 +116,17 @@ def main() -> int:
     print("-" * len(header))
 
     regressions = []
+    missing = []
     for name in sorted(old_cases):
         if name not in new_cases:
             print(f"{name:58s} {'(case missing in new)':>38s}")
+            missing.append(name)
             continue
         old_m, new_m = old_cases[name], new_cases[name]
         for metric in sorted(old_m):
             if metric not in new_m:
                 print(f"{name + '/' + metric:58s} {'(metric missing)':>38s}")
+                missing.append(f"{name}/{metric}")
                 continue
             ov, nv = old_m[metric], new_m[metric]
             if ov == 0:
@@ -91,20 +137,29 @@ def main() -> int:
                 worse = d != 0 and pct * d < 0 and abs(pct) > 1e-9
                 marker = "" if d == 0 else (" WORSE" if worse else "")
                 pct_str = f"{pct:+8.1f}%{marker}"
-                if worse and args.fail_above is not None \
-                        and abs(pct) > args.fail_above:
-                    regressions.append((name, metric, pct))
+                limit = threshold_for(name, metric)
+                if worse and gating and limit is not None \
+                        and abs(pct) > limit:
+                    regressions.append((name, metric, pct, limit))
             print(f"{name + '/' + metric:58s} {ov:14.6g} {nv:14.6g} {pct_str}")
+        for metric in sorted(set(new_m) - set(old_m)):
+            print(f"{name + '/' + metric:58s} {'(new metric, no baseline)':>38s}")
     for name in sorted(set(new_cases) - set(old_cases)):
         print(f"{name:58s} {'(new case, no baseline)':>38s}")
 
+    failed = False
     if regressions:
-        print(f"\n{len(regressions)} metric(s) regressed beyond "
-              f"{args.fail_above}%:")
-        for name, metric, pct in regressions:
-            print(f"  {name}/{metric}: {pct:+.1f}%")
-        return 1
-    return 0
+        print(f"\n{len(regressions)} metric(s) regressed beyond threshold:")
+        for name, metric, pct, limit in regressions:
+            print(f"  {name}/{metric}: {pct:+.1f}% (limit {limit}%)")
+        failed = True
+    if missing and args.fail_missing:
+        print(f"\n{len(missing)} baseline case(s)/metric(s) missing from "
+              f"{args.new}:")
+        for entry in missing:
+            print(f"  {entry}")
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
