@@ -248,7 +248,9 @@ void BM_EdgePass(benchmark::State& state, gee::core::Options options) {
 // `partitioned` is that backend at its defaults (unblocked -- the blocked
 // schedule measured slower here, see Options::partition_block_bytes);
 // `partitioned_blocked` pins the 256 KiB cache-blocked geometry so the
-// trade stays measured on every machine the trajectory touches.
+// trade stays measured on every machine the trajectory touches;
+// `partitioned_blocked_l1` pins a 32 KiB (L1-sized) geometry beside it so
+// a blocking-threshold regression shows up as the two cases converging.
 BENCHMARK_CAPTURE(BM_EdgePass, compiled_serial,
                   {.backend = Backend::kCompiledSerial})
     ->Unit(benchmark::kMillisecond);
@@ -266,6 +268,10 @@ BENCHMARK_CAPTURE(BM_EdgePass, partitioned, {.backend = Backend::kPartitioned})
 BENCHMARK_CAPTURE(BM_EdgePass, partitioned_blocked,
                   (gee::core::Options{.backend = Backend::kPartitioned,
                                       .partition_block_bytes = 256 << 10}))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EdgePass, partitioned_blocked_l1,
+                  (gee::core::Options{.backend = Backend::kPartitioned,
+                                      .partition_block_bytes = 32 << 10}))
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_EdgePass, replicated, {.backend = Backend::kReplicated})
     ->Unit(benchmark::kMillisecond);

@@ -46,6 +46,10 @@ int main(int argc, char** argv) {
   args.add_option("label-fraction", "fraction of labels revealed to GEE",
                   "0.30");
   args.add_option("seed", "random seed", "3");
+  args.add_option("strategy",
+                  "DynamicGee update strategy for --replay (" +
+                      gee::util::update_strategy_choices() + ")",
+                  "delta");
   args.add_option("replay",
                   "stream the edge list through DynamicGee in this many "
                   "batches and report final-vs-batch max-abs error (0 = off)",
@@ -108,7 +112,16 @@ int main(int argc, char** argv) {
   // linearity, different accumulation order, so the error is pure
   // floating-point reassociation (expect ~1e-12 at karate scale).
   if (const auto num_batches = args.get_int("replay"); num_batches > 0) {
-    gee::stream::DynamicGee dynamic(observed);
+    const auto strategy = gee::util::parse_update_strategy(args.get("strategy"));
+    if (!strategy) {
+      std::fprintf(stderr, "unknown --strategy '%s' (choices: %s)\n",
+                   args.get("strategy").c_str(),
+                   gee::util::update_strategy_choices().c_str());
+      return 1;
+    }
+    gee::core::Options stream_options;
+    stream_options.stream_update_strategy = *strategy;
+    gee::stream::DynamicGee dynamic(observed, stream_options);
     const auto m = el.num_edges();
     for (std::int64_t b = 0; b < num_batches; ++b) {
       const auto lo = static_cast<gee::graph::EdgeId>(

@@ -36,6 +36,16 @@ std::string to_string(Precision precision) {
   return "?";
 }
 
+std::string to_string(UpdateStrategy strategy) {
+  switch (strategy) {
+    case UpdateStrategy::kSerial: return "serial";
+    case UpdateStrategy::kDelta: return "delta";
+    case UpdateStrategy::kKHop: return "khop";
+    case UpdateStrategy::kAuto: return "auto";
+  }
+  return "?";
+}
+
 namespace {
 
 using detail::ArcSemantics;

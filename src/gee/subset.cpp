@@ -1,0 +1,14 @@
+#include "gee/subset.hpp"
+
+namespace gee::core {
+
+SubsetReembedStats reembed_rows(const Projection& projection,
+                                std::span<const std::int32_t> labels,
+                                std::span<const graph::VertexId> rows,
+                                const graph::Csr& symmetric_csr, Embedding* z,
+                                int parts) {
+  return reembed_rows(projection, labels, rows,
+                      CsrNeighborSource(symmetric_csr), z, parts);
+}
+
+}  // namespace gee::core

@@ -1,0 +1,141 @@
+// Subset re-embedding: recompute a chosen set of Z rows from scratch,
+// in parallel, without touching any other row.
+//
+// GEE's locality (oos.hpp): row v is a function of v's incident edges and
+// the fixed projection W alone. So "refresh these rows" is embarrassingly
+// parallel -- each worker owns a disjoint slice of the subset and writes
+// only its own rows, zero atomics -- and the result for each row is
+// *exactly* what a full rebuild would produce, provided the neighbor
+// source replays v's incident edges in the rebuild's order (ascending
+// neighbor id, merged per-pair weights, self-loops twice). The streaming
+// k-hop strategy (src/stream/, DESIGN.md section 10) rides on that
+// bitwise guarantee.
+//
+// Work distribution reuses the partition engine's discipline restricted
+// to the subset: partition::subset_slices carves degree-weighted slices
+// (a hub row does not serialize its slice-mates behind it), mirroring how
+// the full-graph plans pick block boundaries.
+//
+// Scratch rows run through simd::PaddedRowBuffer: each row accumulates
+// into a 64-byte-aligned, lane-padded scratch row (stride-aligned like
+// the pass kernels), then lands in Z via a bitwise copy of the K logical
+// lanes.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gee/embedding.hpp"
+#include "gee/oos.hpp"
+#include "gee/options.hpp"
+#include "gee/projection.hpp"
+#include "graph/csr.hpp"
+#include "parallel/parallel_for.hpp"
+#include "partition/partitioner.hpp"
+#include "simd/row_buffer.hpp"
+#include "simd/simd.hpp"
+
+namespace gee::core {
+
+/// What one reembed_rows call did (the stream layer meters these).
+struct SubsetReembedStats {
+  int slices = 0;                ///< worker slices the subset was cut into
+  graph::EdgeId arcs = 0;        ///< incident arcs replayed across all rows
+};
+
+/// Recompute `z` rows `rows` (sorted, unique) from `source`, leaving every
+/// other row untouched.
+///
+/// `source` supplies each row's incident edges (the NeighborSource
+/// contract, duck-typed):
+///   graph::EdgeId degree(v)            incident arc count, self-loops twice
+///   for_each_incident(v, fn)           fn(graph::VertexId nbr, Real w) per
+///                                      incident arc, ascending neighbor id,
+///                                      self-loops emitted twice in place
+/// Replaying in that order makes each recomputed row bitwise equal to a
+/// full rebuild over the same edge multiset (per-cell accumulation order
+/// matches the sorted-pair edge pass; asserted by stream_test).
+///
+/// `parts` = worker slices; <= 0 means one per current OpenMP thread.
+template <class Source>
+SubsetReembedStats reembed_rows(const Projection& projection,
+                                std::span<const std::int32_t> labels,
+                                std::span<const graph::VertexId> rows,
+                                const Source& source, Embedding* z,
+                                int parts = 0) {
+  SubsetReembedStats stats;
+  if (rows.empty()) return stats;
+
+  // Slice weight = degree + 1: the +1 charges the O(K) zero/copy every row
+  // pays, so a run of isolated vertices still spreads across workers.
+  std::vector<graph::EdgeId> weights(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    weights[i] = source.degree(rows[i]) + 1;
+    stats.arcs += weights[i] - 1;
+  }
+  if (parts <= 0) parts = gee::par::num_threads();
+  parts = std::max(1, std::min<int>(parts, static_cast<int>(rows.size())));
+  const auto starts = partition::subset_slices(weights, parts);
+  stats.slices = parts;
+
+  const std::int32_t* label_ptr = labels.data();
+  const Real* vertex_weight = projection.vertex_weight.data();
+  const std::size_t k = static_cast<std::size_t>(projection.num_classes);
+
+  gee::par::parallel_for_dynamic(
+      0, parts,
+      [&](int slice) {
+        // Slices own disjoint row ranges: no atomics anywhere below.
+        simd::PaddedRowBuffer scratch(1, k);
+        Real* acc = scratch.row(0);
+        for (graph::VertexId i = starts[slice];
+             i < starts[static_cast<std::size_t>(slice) + 1]; ++i) {
+          const graph::VertexId v = rows[i];
+          simd::zero(acc, scratch.stride());
+          source.for_each_incident(v, [&](graph::VertexId nbr, Real w) {
+            accumulate_neighbor_mass(label_ptr, vertex_weight, acc, nbr, w,
+                                     [](Real& cell, Real d) { cell += d; });
+          });
+          std::copy_n(acc, k, z->row(v).data());
+        }
+      },
+      /*chunk=*/1);
+  return stats;
+}
+
+/// NeighborSource over a symmetric CSR (Graph::build(kUndirected) with
+/// sorted neighbors): row v's incident arcs are exactly its CSR row --
+/// mirroring already lists self-loops twice and sorting gives ascending
+/// neighbor order, so the contract holds by construction.
+class CsrNeighborSource {
+ public:
+  explicit CsrNeighborSource(const graph::Csr& csr) : csr_(&csr) {}
+
+  [[nodiscard]] graph::EdgeId degree(graph::VertexId v) const {
+    return csr_->degree(v);
+  }
+
+  template <class Fn>
+  void for_each_incident(graph::VertexId v, Fn&& fn) const {
+    const auto neighbors = csr_->neighbors(v);
+    const auto weights = csr_->edge_weights(v);
+    for (std::size_t j = 0; j < neighbors.size(); ++j) {
+      fn(neighbors[j],
+         weights.empty() ? Real{1} : static_cast<Real>(weights[j]));
+    }
+  }
+
+ private:
+  const graph::Csr* csr_;
+};
+
+/// Convenience overload for CSR-backed callers (and the unit tests).
+SubsetReembedStats reembed_rows(const Projection& projection,
+                                std::span<const std::int32_t> labels,
+                                std::span<const graph::VertexId> rows,
+                                const graph::Csr& symmetric_csr, Embedding* z,
+                                int parts = 0);
+
+}  // namespace gee::core

@@ -1,0 +1,74 @@
+#include "ligra/khop.hpp"
+
+#include <utility>
+
+#include "parallel/atomics.hpp"
+
+namespace gee::ligra {
+
+namespace {
+
+/// Mark-once frontier functor: a target joins the output frontier exactly
+/// when its visited flag flips 0 -> 1, so every hop's output is both the
+/// "new this hop" set and deduplicated across parallel discovery paths.
+struct VisitOnce {
+  std::uint8_t* visited;
+
+  bool update(VertexId /*u*/, VertexId v, graph::Weight /*w*/) {
+    // Dense pull: one worker owns v, no race.
+    if (visited[v] != 0) return false;
+    visited[v] = 1;
+    return true;
+  }
+  bool update_atomic(VertexId /*u*/, VertexId v, graph::Weight /*w*/) {
+    return gee::par::test_and_set_flag(visited[v]);
+  }
+  bool cond(VertexId v) const { return visited[v] == 0; }
+};
+
+/// Append a frontier's members to `out` (converting to sparse if a dense
+/// edge_map hop produced flags).
+void append_members(VertexSubset& frontier, std::vector<VertexId>* out) {
+  frontier.to_sparse();
+  const auto members = frontier.sparse_members();
+  out->insert(out->end(), members.begin(), members.end());
+}
+
+}  // namespace
+
+KHopResult expand_k_hops(const graph::Graph& g, const VertexSubset& seeds,
+                         const KHopOptions& options) {
+  const VertexId n = g.num_vertices();
+  KHopResult result{VertexSubset::empty(n)};
+  if (seeds.is_empty()) return result;
+
+  std::vector<std::uint8_t> visited(n, 0);
+  seeds.for_each([&](VertexId v) { visited[v] = 1; });
+
+  // Hop frontiers are disjoint (VisitOnce), so the closure is the plain
+  // concatenation; from_sparse re-sorts the cross-hop order at the end.
+  std::vector<VertexId> members;
+  members.reserve(seeds.size());
+  VertexSubset frontier = seeds;
+  append_members(frontier, &members);
+
+  VisitOnce f{visited.data()};
+  for (int hop = 0; hop < options.hops; ++hop) {
+    if (frontier.is_empty()) break;
+    EdgeMapStats stats;
+    frontier = edge_map(g, frontier, f, options.edge_map, &stats);
+    ++result.hops_expanded;
+    result.edges_traversed += stats.frontier_degree;
+    append_members(frontier, &members);
+    if (options.max_members > 0 &&
+        static_cast<VertexId>(members.size()) > options.max_members) {
+      result.truncated = true;
+      break;
+    }
+  }
+
+  result.closure = VertexSubset::from_sparse(n, std::move(members));
+  return result;
+}
+
+}  // namespace gee::ligra

@@ -1,0 +1,60 @@
+// k-hop closure: the frontier-expansion loop of BFS, packaged as a
+// reusable primitive over the Ligra edge_map machinery.
+//
+// expand_k_hops(G, seeds, k) returns the set of vertices reachable from
+// `seeds` in at most k hops (seeds included -- the *closed* neighborhood).
+// Each hop is one edge_map call with a visited-flag functor, so the
+// traversal inherits Ligra's dense/sparse auto-switching and frontier
+// deduplication: a vertex reached through ten parallel paths appears in
+// the result once, and a huge hop automatically flips from sparse push to
+// the dense pull mode.
+//
+// The streaming k-hop update strategy (src/stream/dynamic_gee.cpp,
+// DESIGN.md section 10) is the load-bearing consumer: after an update
+// batch it seeds with the changed endpoints, expands k hops over a CSR
+// snapshot, and re-embeds exactly the returned subset. `max_members`
+// exists for that caller's auto-heuristic -- expansion abandons early
+// once the closure grows past the cap, so probing "is this batch
+// localized?" costs only the partial expansion, never a full traversal.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "ligra/edge_map.hpp"
+#include "ligra/vertex_subset.hpp"
+
+namespace gee::ligra {
+
+struct KHopOptions {
+  /// Hops to expand; 0 returns the seeds unchanged.
+  int hops = 1;
+  /// Stop early once the closure exceeds this many members (result has
+  /// truncated == true and holds the partial closure). 0 = unbounded.
+  VertexId max_members = 0;
+  /// Per-hop edge_map traversal knobs (mode is normally kAuto).
+  EdgeMapOptions edge_map;
+};
+
+struct KHopResult {
+  /// Seeds plus every vertex within `hops` of one, deduplicated; sparse,
+  /// ascending. Meaningful only up to the hop where truncation struck.
+  VertexSubset closure;
+  /// Hops actually expanded (< hops when a frontier emptied or the
+  /// member cap struck).
+  int hops_expanded = 0;
+  /// True when max_members stopped the expansion early.
+  bool truncated = false;
+  /// Sum of frontier out-degrees across executed hops (the traversal's
+  /// edge work, as reported by EdgeMapStats).
+  graph::EdgeId edges_traversed = 0;
+};
+
+/// Closed k-hop neighborhood of `seeds` in `g`. Seeds must be a subset of
+/// [0, g.num_vertices()).
+[[nodiscard]] KHopResult expand_k_hops(const graph::Graph& g,
+                                       const VertexSubset& seeds,
+                                       const KHopOptions& options = {});
+
+}  // namespace gee::ligra

@@ -187,6 +187,18 @@ int resolve_num_blocks(int requested) {
   return std::min(requested, kMaxBlocks);
 }
 
+std::vector<VertexId> subset_slices(std::span<const graph::EdgeId> row_weights,
+                                    int parts) {
+  // Serial prefix: subsets are frontier-sized (the whole point of the
+  // k-hop strategy), so a parallel scan would cost more than it saves.
+  std::vector<graph::EdgeId> prefix(row_weights.size() + 1);
+  prefix[0] = 0;
+  for (std::size_t i = 0; i < row_weights.size(); ++i) {
+    prefix[i + 1] = prefix[i] + row_weights[i];
+  }
+  return split_by_weight<graph::EdgeId>(prefix, std::max(1, parts));
+}
+
 VertexId block_row_cap(long long block_bytes, int k) {
   if (block_bytes <= 0) return 0;
   const long long rows = block_bytes / (static_cast<long long>(k) *

@@ -74,6 +74,18 @@ template <class T>
   return starts;
 }
 
+/// Subset-restricted plan: boundaries over an arbitrary row *subset*
+/// rather than the full [0, n) row space. `row_weights[i]` is the work of
+/// the i-th subset row (e.g. its degree plus a constant for the O(K)
+/// row-local work); the return value is `parts` + 1 nondecreasing indices
+/// INTO THE SUBSET such that each slice carries a near-equal share. The
+/// streaming k-hop re-embed (gee/subset.hpp) hands each slice to one
+/// worker, reusing the engine's weighted-quantile ownership discipline on
+/// a frontier instead of the whole graph: rows stay exclusively owned, so
+/// the parallel recompute needs no atomics.
+[[nodiscard]] std::vector<graph::VertexId> subset_slices(
+    std::span<const graph::EdgeId> row_weights, int parts);
+
 /// Split the arcs of a CSR into `num_blocks` destination-range blocks.
 /// kDestOnly: one entry per arc, owned by the arc's target row. kBoth:
 /// additionally one source-side entry owned by the arc's source row.

@@ -5,6 +5,9 @@
 #include <utility>
 
 #include "gee/incremental.hpp"
+#include "gee/subset.hpp"
+#include "ligra/khop.hpp"
+#include "ligra/vertex_subset.hpp"
 #include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "partition/partitioner.hpp"
@@ -73,8 +76,12 @@ struct StreamMetrics {
   obs::Counter& buffer_copies = obs::counter("gee.stream.buffer_copies");
   obs::Counter& buffer_promotions =
       obs::counter("gee.stream.buffer_promotions");
+  obs::Counter& khop_batches = obs::counter("gee.stream.khop_batches");
+  obs::Counter& frontier_rebuilds =
+      obs::counter("gee.stream.frontier_rebuilds");
   obs::Histogram& apply_seconds = obs::histogram("gee.stream.apply_seconds");
   obs::Histogram& batch_deltas = obs::histogram("gee.stream.batch_deltas");
+  obs::Histogram& khop_frontier = obs::histogram("gee.stream.khop_frontier");
   obs::Gauge& live_edges = obs::gauge("gee.stream.live_edges");
   obs::Gauge& removed_since_rebuild =
       obs::gauge("gee.stream.removed_since_rebuild");
@@ -105,9 +112,16 @@ DynamicGee::DynamicGee(const graph::EdgeList& initial,
     throw std::out_of_range("DynamicGee: initial edges exceed label vector");
   }
   for (graph::EdgeId e = 0; e < initial.num_edges(); ++e) {
-    LiveEdge& live = live_[pair_key(initial.src(e), initial.dst(e))];
+    const std::uint64_t key = pair_key(initial.src(e), initial.dst(e));
+    LiveEdge& live = live_[key];
     live.weight += static_cast<double>(initial.weight(e));
     live.count += 1;
+    if (adjacency_) {
+      // Same loop, same accumulation order: the mirror's merged weights
+      // stay bit-identical to the multiset's.
+      adjacency_->apply(detail::key_u(key), detail::key_v(key),
+                        static_cast<double>(initial.weight(e)), 1);
+    }
   }
   live_count_ = initial.num_edges();
 
@@ -135,6 +149,10 @@ void DynamicGee::init(std::span<const std::int32_t> labels) {
   n_ = static_cast<graph::VertexId>(labels_.size());
   k_ = projection_.num_classes;
   pool_ = std::make_shared<BufferPool>();
+  if (options_.stream_update_strategy == core::UpdateStrategy::kKHop ||
+      options_.stream_update_strategy == core::UpdateStrategy::kAuto) {
+    adjacency_ = std::make_unique<DynamicAdjacency>(n_);
+  }
 }
 
 DynamicGee::ApplyReport DynamicGee::apply(const UpdateBatch& batch) {
@@ -183,29 +201,63 @@ DynamicGee::ApplyReport DynamicGee::apply(const UpdateBatch& batch) {
     // coalescing leaves no floating-point residue.
     if (d.count < 0) net_removed += static_cast<std::uint64_t>(-d.count);
     if (live.count == 0) live_.erase(key);
+    // Mirror into the per-vertex adjacency (k-hop strategies only), in the
+    // same order so merged weights stay bit-identical to the multiset's.
+    if (adjacency_) {
+      adjacency_->apply(d.u, d.v, static_cast<double>(d.weight), d.count);
+    }
   }
   live_count_ =
       static_cast<std::uint64_t>(static_cast<std::int64_t>(live_count_) +
                                  net_count);
-  stats_.removed_since_rebuild += net_removed;
+  if (adjacency_) frontier_graph_changes_ += deltas.size();
 
   // One scope for everything parallel in this apply -- snapshot-buffer
-  // copies, promotion replays, plan building, and the delta pass -- so
-  // Options::num_threads bounds the writer's footprint exactly as it does
-  // for embed() (a pinned writer must not burst-steal reader cores).
+  // copies, promotion replays, plan building, frontier expansion, and the
+  // delta pass / subset re-embed -- so Options::num_threads bounds the
+  // writer's footprint exactly as it does for embed() (a pinned writer
+  // must not burst-steal reader cores).
   gee::par::ThreadScope threads(options_.num_threads);
   auto work = acquire_writable();
-  {
+
+  const core::UpdateStrategy requested = options_.stream_update_strategy;
+  LogEntry entry;
+  bool khop_ran = false;
+  if (requested == core::UpdateStrategy::kKHop ||
+      requested == core::UpdateStrategy::kAuto) {
+    GEE_TRACE_SPAN("gee.stream.apply_khop");
+    khop_ran = apply_khop(*work, deltas,
+                          requested == core::UpdateStrategy::kAuto, &entry,
+                          &report);
+  }
+  if (khop_ran) {
+    report.strategy = core::UpdateStrategy::kKHop;
+    // The subset rows were recomputed from the exact adjacency: any
+    // removal residue in the neighborhood was just erased, so this batch
+    // contributes nothing to drift.
+  } else {
     GEE_TRACE_SPAN("gee.stream.apply_deltas");
-    report.parallel = apply_deltas(*work, deltas);
+    report.parallel = apply_deltas(
+        *work, deltas,
+        /*allow_parallel=*/requested != core::UpdateStrategy::kSerial);
+    report.strategy = requested == core::UpdateStrategy::kSerial
+                          ? core::UpdateStrategy::kSerial
+                          : core::UpdateStrategy::kDelta;
+    entry.deltas = std::move(deltas);
+    stats_.removed_since_rebuild += net_removed;
   }
   {
     GEE_TRACE_SPAN("gee.stream.publish");
-    publish(std::move(work), std::move(deltas));
+    publish(std::move(work), std::move(entry));
   }
 
   ++stats_.batches;
-  ++(report.parallel ? stats_.parallel_batches : stats_.serial_batches);
+  if (khop_ran) {
+    ++stats_.khop_batches;
+    stats_.khop_rows += report.khop_rows;
+  } else {
+    ++(report.parallel ? stats_.parallel_batches : stats_.serial_batches);
+  }
   stats_.deltas_applied += report.deltas;
 
   // The drift decision itself is part of the apply's observable behavior:
@@ -220,6 +272,10 @@ DynamicGee::ApplyReport DynamicGee::apply(const UpdateBatch& batch) {
   metrics.deltas.add(static_cast<std::int64_t>(report.deltas));
   metrics.raw_ops.add(static_cast<std::int64_t>(report.raw_ops));
   if (report.parallel) metrics.parallel_batches.add();
+  if (khop_ran) {
+    metrics.khop_batches.add();
+    metrics.khop_frontier.record(static_cast<double>(report.khop_rows));
+  }
   metrics.batch_deltas.record(static_cast<double>(report.deltas));
   metrics.apply_seconds.record(apply_timer.seconds());
   metrics.live_edges.set(static_cast<double>(live_count_));
@@ -229,12 +285,14 @@ DynamicGee::ApplyReport DynamicGee::apply(const UpdateBatch& batch) {
 }
 
 bool DynamicGee::apply_deltas(core::Embedding& z,
-                              const std::vector<UpdateBatch::Delta>& deltas) {
+                              const std::vector<UpdateBatch::Delta>& deltas,
+                              bool allow_parallel) {
   if (deltas.empty()) return false;
   const bool parallel =
-      options_.stream_parallel_threshold <= 0 ||
-      static_cast<std::int64_t>(deltas.size()) >=
-          options_.stream_parallel_threshold;
+      allow_parallel &&
+      (options_.stream_parallel_threshold <= 0 ||
+       static_cast<std::int64_t>(deltas.size()) >=
+           options_.stream_parallel_threshold);
 
   if (!parallel) {
     // Serial incremental path: the same two O(K) updates IncrementalGee
@@ -273,6 +331,94 @@ bool DynamicGee::apply_deltas(core::Embedding& z,
   return true;
 }
 
+bool DynamicGee::apply_khop(core::Embedding& z,
+                            const std::vector<UpdateBatch::Delta>& deltas,
+                            bool auto_mode, LogEntry* entry,
+                            ApplyReport* report) {
+  // Member cap for kAuto: abandon once the closure outgrows the ratio.
+  graph::VertexId cap = 0;
+  if (auto_mode) {
+    if (options_.stream_khop_auto_ratio <= 0) return false;
+    cap = static_cast<graph::VertexId>(options_.stream_khop_auto_ratio *
+                                       static_cast<double>(n_));
+    if (cap == 0) return false;
+  }
+
+  // Seeds: endpoints of the net-changed pairs, deduplicated. These are the
+  // only rows the batch changes mathematically (Z is linear per edge);
+  // hops > 0 additionally sweep the surrounding rows back to
+  // rebuild-exact values.
+  std::vector<graph::VertexId> seed_ids;
+  seed_ids.reserve(deltas.size() * 2);
+  for (const auto& d : deltas) {
+    seed_ids.push_back(d.u);
+    if (d.v != d.u) seed_ids.push_back(d.v);
+  }
+  std::sort(seed_ids.begin(), seed_ids.end());
+  seed_ids.erase(std::unique(seed_ids.begin(), seed_ids.end()),
+                 seed_ids.end());
+  if (auto_mode && static_cast<graph::VertexId>(seed_ids.size()) > cap) {
+    return false;  // not even the endpoints are localized
+  }
+
+  ligra::KHopOptions kopts;
+  kopts.hops = std::max(0, options_.stream_khop_hops);
+  kopts.max_members = cap;
+  ligra::VertexSubset closure = ligra::VertexSubset::empty(n_);
+  if (kopts.hops == 0) {
+    // Endpoint-only recompute: the frontier graph is never consulted, so
+    // skip its (amortized O(n + m)) refresh entirely.
+    closure = ligra::VertexSubset::from_sparse(n_, std::move(seed_ids));
+  } else {
+    refresh_frontier_graph();
+    auto seeds = ligra::VertexSubset::from_sparse(n_, std::move(seed_ids));
+    auto expansion = ligra::expand_k_hops(frontier_graph_, seeds, kopts);
+    if (auto_mode && expansion.truncated) return false;
+    closure = std::move(expansion.closure);
+  }
+
+  closure.to_sparse();
+  const auto rows = closure.sparse_members();
+  core::reembed_rows(projection_, labels_, rows, *adjacency_, &z);
+
+  // Row patch for pooled-buffer promotion. An explicit-kKHop caller can
+  // force an arbitrarily large subset; past a quarter of the rows,
+  // replaying patches stops beating the full copy they exist to avoid, so
+  // leave the entry non-replayable (publish clears the log).
+  if (rows.size() * 4 <= static_cast<std::size_t>(n_)) {
+    const auto k = static_cast<std::size_t>(k_);
+    entry->patch_rows.assign(rows.begin(), rows.end());
+    entry->patch_values.resize(rows.size() * k);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto row = z.row(rows[i]);
+      std::copy(row.begin(), row.end(), entry->patch_values.begin() + i * k);
+    }
+  }
+  report->khop_rows = rows.size();
+  return true;
+}
+
+void DynamicGee::refresh_frontier_graph() {
+  const double fraction = options_.stream_khop_refresh_fraction;
+  const bool stale =
+      !frontier_graph_valid_ || fraction <= 0 ||
+      static_cast<double>(frontier_graph_changes_) >
+          fraction *
+              static_cast<double>(std::max<std::uint64_t>(1, live_count_));
+  if (!stale) return;
+  // O(n + m) CSR snapshot, amortized across applies by the fraction gate.
+  // Staleness is harmless: seeds are always the current endpoints, so a
+  // stale snapshot only changes which *halo* rows get their residue swept
+  // this round (DESIGN.md section 10).
+  GEE_TRACE_SPAN("gee.stream.frontier_rebuild");
+  frontier_graph_ = graph::Graph::build(adjacency_->to_edge_list(),
+                                        graph::GraphKind::kUndirected, {}, n_);
+  frontier_graph_valid_ = true;
+  frontier_graph_changes_ = 0;
+  ++stats_.frontier_rebuilds;
+  StreamMetrics::get().frontier_rebuilds.add();
+}
+
 std::unique_ptr<core::Embedding> DynamicGee::acquire_writable() {
   // Writer thread only; it is the sole epoch_ writer, so relaxed loads
   // here always see its own latest store.
@@ -281,12 +427,23 @@ std::unique_ptr<core::Embedding> DynamicGee::acquire_writable() {
   if (buffer != nullptr && buffer_epoch <= at_epoch) {
     const bool replayable =
         buffer_epoch == at_epoch ||
-        (!log_.empty() && log_.front().first <= buffer_epoch + 1 &&
-         log_.back().first == at_epoch);
+        (!log_.empty() && log_.front().epoch <= buffer_epoch + 1 &&
+         log_.back().epoch == at_epoch);
     if (replayable) {
       GEE_TRACE_SPAN("gee.stream.promote_buffer");
-      for (const auto& [log_epoch, log_deltas] : log_) {
-        if (log_epoch > buffer_epoch) apply_deltas(*buffer, log_deltas);
+      for (const auto& e : log_) {
+        if (e.epoch <= buffer_epoch) continue;
+        if (!e.deltas.empty()) {
+          apply_deltas(*buffer, e.deltas, /*allow_parallel=*/true);
+        } else {
+          // k-hop row patch: copy the epoch's recomputed rows verbatim,
+          // reproducing the published bytes exactly.
+          const auto k = static_cast<std::size_t>(k_);
+          for (std::size_t i = 0; i < e.patch_rows.size(); ++i) {
+            std::copy_n(e.patch_values.data() + i * k, k,
+                        buffer->row(e.patch_rows[i]).data());
+          }
+        }
       }
       ++stats_.buffer_promotions;
       StreamMetrics::get().buffer_promotions.add();
@@ -310,8 +467,7 @@ std::unique_ptr<core::Embedding> DynamicGee::acquire_writable() {
   return std::move(buffer);
 }
 
-void DynamicGee::publish(std::unique_ptr<core::Embedding> z,
-                         std::vector<UpdateBatch::Delta> deltas) {
+void DynamicGee::publish(std::unique_ptr<core::Embedding> z, LogEntry entry) {
   const std::uint64_t next_epoch = epoch_.load(std::memory_order_relaxed) + 1;
   std::shared_ptr<core::Embedding> next(
       z.release(), [pool = pool_, next_epoch](core::Embedding* p) {
@@ -327,10 +483,12 @@ void DynamicGee::publish(std::unique_ptr<core::Embedding> z,
   }
   // `retired` drops here, outside the lock: if no reader still holds it,
   // its deleter returns the buffer to the pool on this thread.
-  if (deltas.empty()) {
-    log_.clear();  // not replayable (rebuild); pooled buffers full-copy
+  if (!entry.replayable()) {
+    // Rebuilds and oversized k-hop subsets; pooled buffers full-copy.
+    log_.clear();
   } else {
-    log_.emplace_back(next_epoch, std::move(deltas));
+    entry.epoch = next_epoch;
+    log_.push_back(std::move(entry));
     while (log_.size() > kMaxDeltaLog) log_.pop_front();
   }
 }

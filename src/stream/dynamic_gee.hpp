@@ -23,6 +23,14 @@
 //    Options::stream_rebuild_drift of the live edge count, Z is recomputed
 //    from the live edge multiset (one batch kPartitioned embed -- cheap;
 //    that is the paper's point) and republished.
+//  * k-hop selective re-embedding (Options::stream_update_strategy =
+//    kKHop/kAuto) -- instead of applying deltas cell-by-cell, seed a Ligra
+//    vertex_subset with the changed endpoints, expand k hops with edge_map
+//    over a cached CSR snapshot, and RECOMPUTE exactly those rows from the
+//    exact per-vertex adjacency mirror (adjacency.hpp). Recomputed rows
+//    are bitwise equal to a full rebuild's, so removals leave no residue
+//    at all and the drift counter never advances on this path. Wins when a
+//    batch concentrates many updates on few vertices (DESIGN.md sec. 10).
 //
 // Threading contract: ONE writer thread calls apply()/rebuild(); any
 // number of reader threads call snapshot()/epoch()/staleness()/refresh()
@@ -48,7 +56,9 @@
 #include "gee/gee.hpp"
 #include "gee/options.hpp"
 #include "gee/projection.hpp"
+#include "graph/csr.hpp"
 #include "graph/edge_list.hpp"
+#include "stream/adjacency.hpp"
 #include "stream/snapshot.hpp"
 #include "stream/update_batch.hpp"
 
@@ -73,9 +83,15 @@ class DynamicGee {
   struct ApplyReport {
     std::uint64_t raw_ops = 0;    ///< batch entries before coalescing
     std::uint64_t deltas = 0;     ///< net per-pair deltas applied
-    bool parallel = false;        ///< partitioned path (vs serial fallback)
+    bool parallel = false;        ///< partitioned delta path (vs serial)
     bool rebuilt = false;         ///< drift rebuild triggered afterwards
     std::uint64_t epoch = 0;      ///< epoch visible after this apply
+    /// Path that folded the batch: kSerial (forced serial loop), kDelta
+    /// (threshold-gated; `parallel` tells which sub-path), or kKHop.
+    /// kAuto never appears -- it resolves to kKHop or kDelta per batch.
+    core::UpdateStrategy strategy = core::UpdateStrategy::kDelta;
+    /// Rows re-embedded by the k-hop path (0 on the delta paths).
+    std::uint64_t khop_rows = 0;
   };
 
   /// Apply one batch and publish a new epoch. Validates before mutating:
@@ -144,6 +160,9 @@ class DynamicGee {
     std::uint64_t buffer_copies = 0;    ///< O(nK) snapshot-buffer copies
     std::uint64_t buffer_promotions = 0;///< delta-replay buffer reuses
     std::uint64_t removed_since_rebuild = 0;
+    std::uint64_t khop_batches = 0;     ///< took the k-hop path
+    std::uint64_t khop_rows = 0;        ///< rows re-embedded across them
+    std::uint64_t frontier_rebuilds = 0;///< frontier CSR snapshot builds
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -154,18 +173,46 @@ class DynamicGee {
     std::int64_t count = 0;
   };
 
+  /// One replayable epoch of the promotion log: either the batch's deltas
+  /// (delta paths -- replay re-applies them) or the k-hop path's row patch
+  /// (replay copies the recomputed rows verbatim, so a promoted buffer
+  /// reproduces the published bytes exactly). Neither = not replayable;
+  /// publishing such an entry clears the log (rebuilds, oversized k-hop
+  /// subsets) and pooled buffers fall back to a full copy.
+  struct LogEntry {
+    std::uint64_t epoch = 0;
+    std::vector<UpdateBatch::Delta> deltas;
+    std::vector<graph::VertexId> patch_rows;  ///< ascending
+    std::vector<core::Real> patch_values;     ///< patch_rows.size() x K
+    [[nodiscard]] bool replayable() const noexcept {
+      return !deltas.empty() || !patch_rows.empty();
+    }
+  };
+
   void init(std::span<const std::int32_t> labels);
-  /// Apply coalesced deltas to `z` (serial or partitioned by threshold);
+  /// Apply coalesced deltas to `z`: serial loop when `allow_parallel` is
+  /// false or the batch is below the threshold, partitioned otherwise;
   /// returns true when the partitioned path ran.
   bool apply_deltas(core::Embedding& z,
-                    const std::vector<UpdateBatch::Delta>& deltas);
+                    const std::vector<UpdateBatch::Delta>& deltas,
+                    bool allow_parallel);
+  /// The k-hop path: seeds from `deltas`' endpoints, expand, re-embed the
+  /// subset in `z`, fill `entry`'s row patch and `report`'s k-hop fields.
+  /// Returns false (leaving `z` untouched) when `auto_mode` and the
+  /// expansion outgrew stream_khop_auto_ratio -- the caller then falls
+  /// back to delta application.
+  bool apply_khop(core::Embedding& z,
+                  const std::vector<UpdateBatch::Delta>& deltas,
+                  bool auto_mode, LogEntry* entry, ApplyReport* report);
+  /// (Re)build the cached frontier-expansion CSR from the adjacency
+  /// mirror when stale (stream_khop_refresh_fraction).
+  void refresh_frontier_graph();
   /// A writable buffer holding the current published state: a pooled
-  /// buffer promoted via the delta log, or a fresh/recycled full copy.
+  /// buffer promoted via the replay log, or a fresh/recycled full copy.
   std::unique_ptr<core::Embedding> acquire_writable();
-  /// Swap `z` in as the new published epoch; `deltas` becomes the newest
-  /// delta-log entry (empty = not replayable, log is cleared).
-  void publish(std::unique_ptr<core::Embedding> z,
-               std::vector<UpdateBatch::Delta> deltas);
+  /// Swap `z` in as the new published epoch; `entry` becomes the newest
+  /// log entry (not replayable = log is cleared).
+  void publish(std::unique_ptr<core::Embedding> z, LogEntry entry);
   [[nodiscard]] bool drift_exceeded() const noexcept;
 
   std::vector<std::int32_t> labels_;
@@ -179,6 +226,15 @@ class DynamicGee {
   std::unordered_map<std::uint64_t, LiveEdge> live_;
   std::uint64_t live_count_ = 0;
 
+  /// k-hop machinery, allocated only when stream_update_strategy is
+  /// kKHop/kAuto (the delta strategies pay nothing for it). The adjacency
+  /// mirrors live_ exactly; the frontier graph is a CSR snapshot of it,
+  /// refreshed by fraction (writer-thread-only, like live_).
+  std::unique_ptr<DynamicAdjacency> adjacency_;
+  graph::Graph frontier_graph_;
+  bool frontier_graph_valid_ = false;
+  std::uint64_t frontier_graph_changes_ = 0;
+
   mutable std::mutex publish_mutex_;           // guards published_
   std::shared_ptr<core::Embedding> published_; // readers snapshot this
   /// Stored under publish_mutex_ (so snapshot() reads a consistent
@@ -186,9 +242,9 @@ class DynamicGee {
   std::atomic<std::uint64_t> epoch_{0};
 
   std::shared_ptr<BufferPool> pool_;
-  /// (epoch, deltas) of the most recent applies, newest last; a pooled
-  /// buffer at epoch e replays entries (e, current] to catch up.
-  std::deque<std::pair<std::uint64_t, std::vector<UpdateBatch::Delta>>> log_;
+  /// Replay log of the most recent applies, newest last; a pooled buffer
+  /// at epoch e replays entries (e, current] to catch up.
+  std::deque<LogEntry> log_;
 
   Stats stats_;
 };

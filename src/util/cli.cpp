@@ -22,6 +22,23 @@ std::string backend_choices() {
   return choices;
 }
 
+std::optional<gee::core::UpdateStrategy> parse_update_strategy(
+    const std::string& name) {
+  for (const gee::core::UpdateStrategy s : gee::core::kAllUpdateStrategies) {
+    if (gee::core::to_string(s) == name) return s;
+  }
+  return std::nullopt;
+}
+
+std::string update_strategy_choices() {
+  std::string choices;
+  for (const gee::core::UpdateStrategy s : gee::core::kAllUpdateStrategies) {
+    if (!choices.empty()) choices += ", ";
+    choices += gee::core::to_string(s);
+  }
+  return choices;
+}
+
 void ArgParser::add_option(const std::string& name, const std::string& help,
                            const std::string& default_value) {
   specs_.emplace_back(name, Spec{help, default_value, /*is_flag=*/false});
@@ -103,14 +120,21 @@ double ArgParser::get_double(const std::string& name) const {
   return std::stod(get(name));
 }
 
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> items;
+  std::string item;
+  std::istringstream is(csv);
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) items.push_back(item);
+  }
+  return items;
+}
+
 std::vector<std::int64_t> ArgParser::get_int_list(
     const std::string& name) const {
   std::vector<std::int64_t> values;
-  const std::string raw = get(name);
-  std::string item;
-  std::istringstream is(raw);
-  while (std::getline(is, item, ',')) {
-    if (!item.empty()) values.push_back(std::stoll(item));
+  for (const auto& item : split_csv(get(name))) {
+    values.push_back(std::stoll(item));
   }
   return values;
 }

@@ -29,6 +29,20 @@ namespace gee::util {
 /// All backend names, comma-joined, for --help text.
 [[nodiscard]] std::string backend_choices();
 
+/// Parse a stream update-strategy name as printed by
+/// gee::core::to_string(UpdateStrategy); nullopt for unknown names.
+/// Round-trips every value (enforced by util_misc_test).
+[[nodiscard]] std::optional<gee::core::UpdateStrategy> parse_update_strategy(
+    const std::string& name);
+
+/// All update-strategy names, comma-joined, for --help text.
+[[nodiscard]] std::string update_strategy_choices();
+
+/// Split a comma-separated list into its non-empty items (the string
+/// analogue of ArgParser::get_int_list, for name-valued sweeps like
+/// bench_stream --strategies).
+[[nodiscard]] std::vector<std::string> split_csv(const std::string& csv);
+
 class ArgParser {
  public:
   ArgParser(std::string program, std::string description)

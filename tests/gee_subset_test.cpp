@@ -1,0 +1,203 @@
+// Subset re-embedding tests: core::reembed_rows must reproduce, bitwise,
+// the rows a full serial embed computes over the same (pair-key-sorted,
+// per-pair-merged) edge multiset -- the exactness guarantee the streaming
+// k-hop strategy is built on (DESIGN.md section 10) -- while leaving every
+// row outside the subset untouched.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "gee/gee.hpp"
+#include "gee/subset.hpp"
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+#include "partition/partitioner.hpp"
+#include "testing/random_graphs.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gee;
+using namespace gee::core;
+using graph::EdgeId;
+using graph::EdgeList;
+using graph::VertexId;
+using graph::Weight;
+
+/// Coalesce an edge list the way DynamicGee::rebuild() does: one edge per
+/// unordered pair, weights merged in double, sorted by packed pair key.
+EdgeList merge_pairs(const EdgeList& el) {
+  std::map<std::pair<VertexId, VertexId>, double> merged;
+  for (EdgeId e = 0; e < el.num_edges(); ++e) {
+    const VertexId u = std::min(el.src(e), el.dst(e));
+    const VertexId v = std::max(el.src(e), el.dst(e));
+    merged[{u, v}] += static_cast<double>(el.weight(e));
+  }
+  EdgeList out(el.num_vertices());
+  out.reserve(merged.size());
+  for (const auto& [pair, w] : merged) {
+    out.add(pair.first, pair.second, static_cast<Weight>(w));
+  }
+  return out;
+}
+
+/// Deterministic row subset: every stride-th vertex, offset by salt.
+std::vector<VertexId> pick_rows(VertexId n, VertexId stride, VertexId salt) {
+  std::vector<VertexId> rows;
+  for (VertexId v = salt % stride; v < n; v += stride) rows.push_back(v);
+  return rows;
+}
+
+Embedding copy_of(const Embedding& src) {
+  Embedding out(src.num_vertices(), src.dim());
+  std::memcpy(out.data(), src.data(), src.size() * sizeof(Real));
+  return out;
+}
+
+bool rows_bitwise_equal(const Embedding& a, const Embedding& b, VertexId v) {
+  const auto ra = a.row(v);
+  const auto rb = b.row(v);
+  return std::memcmp(ra.data(), rb.data(), ra.size() * sizeof(Real)) == 0;
+}
+
+TEST(ReembedRows, BitwiseMatchesSerialEmbedAcrossGraphMatrix) {
+  for (std::uint64_t seed : {1u, 7u}) {
+    for (const auto& rg : testutil::random_graph_matrix(seed)) {
+      const EdgeList merged = merge_pairs(rg.edges);
+      const auto full =
+          embed_edges(merged, rg.labels, {.backend = Backend::kCompiledSerial});
+      const graph::Graph g = graph::Graph::build(
+          merged, graph::GraphKind::kUndirected, {}, merged.num_vertices());
+      const VertexId n = merged.num_vertices();
+
+      // Corrupt the subset rows, then demand reembed restores them exactly.
+      Embedding z = copy_of(full.z);
+      const auto rows = pick_rows(n, 5, static_cast<VertexId>(seed));
+      for (VertexId v : rows) {
+        for (Real& cell : z.row(v)) cell = static_cast<Real>(-1.0);
+      }
+      const auto stats = reembed_rows(full.projection, rg.labels, rows,
+                                      g.out(), &z);
+      EXPECT_GT(stats.slices, 0) << rg.name;
+      for (VertexId v = 0; v < n; ++v) {
+        ASSERT_TRUE(rows_bitwise_equal(full.z, z, v))
+            << rg.name << " row " << v;
+      }
+    }
+  }
+}
+
+TEST(ReembedRows, SliceCountNeverChangesBits) {
+  const auto rg = testutil::random_graph_matrix(11).front();
+  const EdgeList merged = merge_pairs(rg.edges);
+  const auto full =
+      embed_edges(merged, rg.labels, {.backend = Backend::kCompiledSerial});
+  const graph::Graph g = graph::Graph::build(
+      merged, graph::GraphKind::kUndirected, {}, merged.num_vertices());
+  const VertexId n = merged.num_vertices();
+  std::vector<VertexId> rows(n);
+  for (VertexId v = 0; v < n; ++v) rows[v] = v;
+
+  for (int parts : {1, 2, 3, 7, 64}) {
+    Embedding z = copy_of(full.z);
+    for (VertexId v : rows) {
+      for (Real& cell : z.row(v)) cell = static_cast<Real>(7.5);
+    }
+    reembed_rows(full.projection, rg.labels, rows, g.out(), &z, parts);
+    for (VertexId v = 0; v < n; ++v) {
+      ASSERT_TRUE(rows_bitwise_equal(full.z, z, v))
+          << "parts " << parts << " row " << v;
+    }
+  }
+}
+
+TEST(ReembedRows, EmptySubsetIsANoOp) {
+  const auto rg = testutil::random_graph_matrix(3).front();
+  const EdgeList merged = merge_pairs(rg.edges);
+  const auto full =
+      embed_edges(merged, rg.labels, {.backend = Backend::kCompiledSerial});
+  const graph::Graph g = graph::Graph::build(
+      merged, graph::GraphKind::kUndirected, {}, merged.num_vertices());
+  Embedding z = copy_of(full.z);
+  const auto stats =
+      reembed_rows(full.projection, rg.labels, {}, g.out(), &z);
+  EXPECT_EQ(stats.slices, 0);
+  EXPECT_EQ(stats.arcs, 0u);
+  for (VertexId v = 0; v < merged.num_vertices(); ++v) {
+    ASSERT_TRUE(rows_bitwise_equal(full.z, z, v));
+  }
+}
+
+TEST(ReembedRows, IsolatedVertexRowBecomesZero) {
+  // Vertex 4 has no incident edges: its recomputed row is exactly zero.
+  EdgeList el(5);
+  el.add(0, 1);
+  el.add(1, 2);
+  el.add(2, 3);
+  const std::vector<std::int32_t> y = {0, 1, 0, 1, 0};
+  const auto full = embed_edges(el, y, {.backend = Backend::kCompiledSerial});
+  const graph::Graph g =
+      graph::Graph::build(el, graph::GraphKind::kUndirected, {}, 5);
+  Embedding z = copy_of(full.z);
+  for (Real& cell : z.row(4)) cell = static_cast<Real>(9.0);
+  const std::vector<VertexId> rows = {4};
+  reembed_rows(full.projection, y, rows, g.out(), &z);
+  for (Real cell : z.row(4)) EXPECT_EQ(cell, static_cast<Real>(0.0));
+}
+
+TEST(ReembedRows, SelfLoopsContributeTwice) {
+  // One self-loop at vertex 0 plus an ordinary edge: the self-loop's mass
+  // lands twice in row 0 (both endpoint passes), matching the full embed.
+  EdgeList el(3);
+  el.add(0, 0, 2.0f);
+  el.add(0, 1, 1.0f);
+  const std::vector<std::int32_t> y = {0, 1, 1};
+  const auto full = embed_edges(el, y, {.backend = Backend::kCompiledSerial});
+  const graph::Graph g =
+      graph::Graph::build(el, graph::GraphKind::kUndirected, {}, 3);
+  Embedding z = copy_of(full.z);
+  for (Real& cell : z.row(0)) cell = static_cast<Real>(-3.0);
+  const std::vector<VertexId> rows = {0};
+  reembed_rows(full.projection, y, rows, g.out(), &z);
+  ASSERT_TRUE(rows_bitwise_equal(full.z, z, 0));
+}
+
+// ------------------------------------------------------ subset_slices
+
+TEST(SubsetSlices, CoversRangeMonotonically) {
+  const std::vector<EdgeId> weights = {5, 1, 1, 9, 2, 2, 1, 4};
+  for (int parts : {1, 2, 3, 8}) {
+    const auto starts = partition::subset_slices(weights, parts);
+    ASSERT_EQ(starts.size(), static_cast<std::size_t>(parts) + 1);
+    EXPECT_EQ(starts.front(), 0u);
+    EXPECT_EQ(starts.back(), weights.size());
+    EXPECT_TRUE(std::is_sorted(starts.begin(), starts.end()));
+  }
+}
+
+TEST(SubsetSlices, HeavyItemDoesNotDragNeighbors) {
+  // One hub (weight 1000) among light rows: with 2 slices the boundary
+  // must isolate the hub's side rather than splitting items 50/50.
+  std::vector<EdgeId> weights(10, 1);
+  weights[0] = 1000;
+  const auto starts = partition::subset_slices(weights, 2);
+  ASSERT_EQ(starts.size(), 3u);
+  // Slice 0 carries the hub and little else.
+  EXPECT_LE(starts[1], 2u);
+  EXPECT_GE(starts[1], 1u);
+}
+
+TEST(SubsetSlices, MorePartsThanItemsYieldsEmptyTailSlices) {
+  const std::vector<EdgeId> weights = {3, 3};
+  const auto starts = partition::subset_slices(weights, 5);
+  ASSERT_EQ(starts.size(), 6u);
+  EXPECT_EQ(starts.front(), 0u);
+  EXPECT_EQ(starts.back(), 2u);
+  EXPECT_TRUE(std::is_sorted(starts.begin(), starts.end()));
+}
+
+}  // namespace

@@ -433,6 +433,327 @@ TEST(DynamicGee, ConcurrentReadersSeeConsistentSnapshots) {
   EXPECT_EQ(dg.epoch(), 400u);
 }
 
+// --------------------------------------- k-hop selective re-embedding
+
+TEST(DynamicGeeKHop, ReplayMatchesOneShotAcrossGraphMatrix) {
+  for (auto& c : replay_cases()) {
+    const auto reference =
+        core::embed_edges(c.edges, c.labels, {.backend =
+                                              Backend::kCompiledSerial});
+    for (const int num_batches : {1, 7, 64}) {
+      for (const int hops : {0, 1, 2}) {
+        Options options;
+        options.stream_update_strategy = core::UpdateStrategy::kKHop;
+        options.stream_khop_hops = hops;
+        const auto dg = replay(c.edges, c.labels, num_batches, options);
+        EXPECT_LT(core::max_abs_diff(*dg->snapshot().z, reference.z), 1e-5)
+            << c.name << " B=" << num_batches << " hops=" << hops;
+        EXPECT_EQ(dg->stats().khop_batches, dg->stats().batches)
+            << c.name << " B=" << num_batches << " hops=" << hops;
+        EXPECT_GT(dg->stats().khop_rows, 0u);
+      }
+    }
+  }
+}
+
+TEST(DynamicGeeKHop, FinalStateMatchesRebuildBitwise) {
+  // Pure k-hop operation is rebuild-exact: every row is recomputed from
+  // the exact adjacency at the last batch that touched it, so after any
+  // replay (adds AND removals) the published Z must equal a from-scratch
+  // rebuild of the final multiset bit for bit. refresh_fraction 0 pins the
+  // frontier CSR to the current graph every apply, exercising the rebuild
+  // path on each batch.
+  const auto el =
+      with_random_weights(gen::erdos_renyi_gnm(180, 2200, 101), 103);
+  const auto labels = gen::semi_supervised_labels(180, 5, 0.4, 107);
+  for (const double refresh_fraction : {0.0, 0.10}) {
+    Options options;
+    options.stream_update_strategy = core::UpdateStrategy::kKHop;
+    options.stream_khop_refresh_fraction = refresh_fraction;
+    auto dg = std::make_unique<DynamicGee>(labels, options);
+    // Stream in, then remove every fourth edge.
+    const EdgeId m = el.num_edges();
+    for (int b = 0; b < 12; ++b) {
+      const EdgeId lo = m * static_cast<EdgeId>(b) / 12;
+      const EdgeId hi = m * static_cast<EdgeId>(b + 1) / 12;
+      UpdateBatch batch;
+      for (EdgeId e = lo; e < hi; ++e) {
+        batch.add(el.src(e), el.dst(e), el.weight(e));
+      }
+      dg->apply(batch);
+    }
+    UpdateBatch removals;
+    for (EdgeId e = 0; e < m; e += 4) {
+      removals.remove(el.src(e), el.dst(e), el.weight(e));
+    }
+    dg->apply(removals);
+
+    // Twin engine, same history, then an explicit rebuild: the gold state.
+    Options delta_options;
+    auto gold = std::make_unique<DynamicGee>(labels, delta_options);
+    for (int b = 0; b < 12; ++b) {
+      const EdgeId lo = m * static_cast<EdgeId>(b) / 12;
+      const EdgeId hi = m * static_cast<EdgeId>(b + 1) / 12;
+      UpdateBatch batch;
+      for (EdgeId e = lo; e < hi; ++e) {
+        batch.add(el.src(e), el.dst(e), el.weight(e));
+      }
+      gold->apply(batch);
+    }
+    gold->apply(removals);
+    gold->rebuild();
+
+    EXPECT_EQ(core::max_abs_diff(*dg->snapshot().z, *gold->snapshot().z), 0.0)
+        << "refresh_fraction=" << refresh_fraction;
+    // The k-hop engine never rebuilt and never accumulated drift.
+    EXPECT_EQ(dg->stats().rebuilds, 0u);
+    EXPECT_EQ(dg->stats().removed_since_rebuild, 0u);
+  }
+}
+
+TEST(DynamicGeeKHop, AutoSelectsByFrontierLocality) {
+  const VertexId n = 400;
+  const auto labels = gen::semi_supervised_labels(n, 4, 0.5, 109);
+  Options options;
+  options.stream_update_strategy = core::UpdateStrategy::kAuto;
+  options.stream_khop_auto_ratio = 0.05;  // cap = 20 vertices
+  DynamicGee dg(labels, options);
+
+  // Broad batch: edges spread over 200 distinct vertices, far past the
+  // cap -- auto must fall back to the delta path.
+  UpdateBatch broad;
+  for (VertexId v = 100; v < 300; v += 2) broad.add(v, v + 1);
+  auto report = dg.apply(broad);
+  EXPECT_EQ(report.strategy, core::UpdateStrategy::kDelta);
+  EXPECT_EQ(report.khop_rows, 0u);
+
+  // Localized batch: a 5-vertex clique disjoint from everything above --
+  // the closure is those 5 vertices, comfortably under the cap.
+  UpdateBatch local;
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) local.add(u, v);
+  }
+  report = dg.apply(local);
+  EXPECT_EQ(report.strategy, core::UpdateStrategy::kKHop);
+  EXPECT_GT(report.khop_rows, 0u);
+  EXPECT_LE(report.khop_rows, 20u);
+
+  // The fallback batch still counted toward drift bookkeeping paths while
+  // the k-hop batch did not disturb correctness: final state matches a
+  // one-shot embed.
+  EdgeList applied(n);
+  for (VertexId v = 100; v < 300; v += 2) applied.add(v, v + 1);
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) applied.add(u, v);
+  }
+  const auto reference = core::embed_edges(applied, labels,
+                                           {.backend =
+                                            Backend::kCompiledSerial});
+  EXPECT_LT(core::max_abs_diff(*dg.snapshot().z, reference.z), 1e-5);
+  EXPECT_EQ(dg.stats().khop_batches, 1u);
+}
+
+TEST(DynamicGeeKHop, ReportStrategyReflectsRequestedPath) {
+  const std::vector<std::int32_t> labels{0, 1, 0, 1};
+  UpdateBatch batch;
+  batch.add(0, 1);
+
+  Options serial;
+  serial.stream_update_strategy = core::UpdateStrategy::kSerial;
+  serial.stream_parallel_threshold = 0;  // would go parallel if allowed
+  DynamicGee a(labels, serial);
+  auto report = a.apply(batch);
+  EXPECT_EQ(report.strategy, core::UpdateStrategy::kSerial);
+  EXPECT_FALSE(report.parallel);
+
+  Options delta;
+  delta.stream_parallel_threshold = 0;
+  DynamicGee b(labels, delta);
+  report = b.apply(batch);
+  EXPECT_EQ(report.strategy, core::UpdateStrategy::kDelta);
+  EXPECT_TRUE(report.parallel);
+
+  Options khop;
+  khop.stream_update_strategy = core::UpdateStrategy::kKHop;
+  DynamicGee c(labels, khop);
+  report = c.apply(batch);
+  EXPECT_EQ(report.strategy, core::UpdateStrategy::kKHop);
+  EXPECT_EQ(report.khop_rows, 2u);
+}
+
+TEST(DynamicGeeKHop, PooledBuffersPromoteByRowPatch) {
+  const auto el = gen::erdos_renyi_gnm(80, 600, 113);
+  const auto labels = gen::semi_supervised_labels(80, 3, 0.5, 127);
+  Options options;
+  options.stream_update_strategy = core::UpdateStrategy::kKHop;
+  // Endpoint-only recomputes keep each epoch's row patch under the n/4
+  // replayability bound (a 1-hop closure in this ER graph would not be).
+  options.stream_khop_hops = 0;
+  DynamicGee dg(labels, options);
+  UpdateBatch seed;
+  for (EdgeId e = 0; e < el.num_edges(); ++e) {
+    seed.add(el.src(e), el.dst(e), el.weight(e));
+  }
+  dg.apply(seed);
+
+  {
+    // A held snapshot forces the writer onto a second buffer...
+    const auto held = dg.snapshot();
+    UpdateBatch batch;
+    batch.add(0, 1);
+    dg.apply(batch);
+  }
+  // ...whose release recycles it through the ROW-PATCH promotion path
+  // (k-hop epochs log recomputed rows, not deltas).
+  for (int i = 0; i < 6; ++i) {
+    UpdateBatch batch;
+    batch.add(static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
+    dg.apply(batch);
+  }
+  EXPECT_GT(dg.stats().buffer_promotions, 0u);
+
+  // Promoted buffers must carry the exact published bytes: a rebuild twin
+  // over the same history agrees bitwise.
+  EdgeList extended = el;
+  extended.add(0, 1);
+  for (int i = 0; i < 6; ++i) {
+    extended.add(static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
+  }
+  DynamicGee gold(labels);
+  UpdateBatch all;
+  for (EdgeId e = 0; e < extended.num_edges(); ++e) {
+    all.add(extended.src(e), extended.dst(e), extended.weight(e));
+  }
+  gold.apply(all);
+  gold.rebuild();
+  EXPECT_EQ(core::max_abs_diff(*dg.snapshot().z, *gold.snapshot().z), 0.0);
+}
+
+TEST(DynamicGeeKHop, OversizedSubsetFallsBackToFullCopy) {
+  // 6-vertex clique with hops 2: every apply's closure is the whole graph,
+  // past the n/4 patch bound, so log entries are not replayable and a
+  // recycled buffer must take the full-copy path -- correctly.
+  const std::vector<std::int32_t> labels{0, 1, 0, 1, 0, 1};
+  Options options;
+  options.stream_update_strategy = core::UpdateStrategy::kKHop;
+  options.stream_khop_hops = 2;
+  DynamicGee dg(labels, options);
+  UpdateBatch clique;
+  for (VertexId u = 0; u < 6; ++u) {
+    for (VertexId v = u + 1; v < 6; ++v) clique.add(u, v);
+  }
+  dg.apply(clique);
+
+  const auto copies_before = dg.stats().buffer_copies;
+  {
+    const auto held = dg.snapshot();
+    UpdateBatch batch;
+    batch.add(0, 1);
+    dg.apply(batch);
+  }
+  UpdateBatch batch;
+  batch.add(2, 3);
+  dg.apply(batch);
+  EXPECT_GT(dg.stats().buffer_copies, copies_before);
+  EXPECT_EQ(dg.stats().buffer_promotions, 0u);
+
+  EdgeList applied(6);
+  for (VertexId u = 0; u < 6; ++u) {
+    for (VertexId v = u + 1; v < 6; ++v) applied.add(u, v);
+  }
+  applied.add(0, 1);
+  applied.add(2, 3);
+  const auto reference = core::embed_edges(applied, labels,
+                                           {.backend =
+                                            Backend::kCompiledSerial});
+  EXPECT_LT(core::max_abs_diff(*dg.snapshot().z, reference.z), 1e-10);
+}
+
+// k-hop writer racing reader snapshots: the PR's new concurrency surface
+// (frontier CSR snapshots, subset re-embeds, row-patch promotions are all
+// writer-side; readers must stay undisturbed). Run under TSan in CI.
+TEST(DynamicGeeKHop, ConcurrentReadersWithKHopWriter) {
+  const VertexId n = 64;
+  const auto labels = gen::semi_supervised_labels(n, 4, 0.5, 131);
+  Options options;
+  options.stream_update_strategy = core::UpdateStrategy::kAuto;
+  options.stream_khop_auto_ratio = 0.25;  // mixed k-hop / delta traffic
+  DynamicGee dg(labels, options);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> snapshots_taken{0};
+  auto reader = [&] {
+    std::uint64_t last_epoch = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const auto snap = dg.snapshot();
+      EXPECT_GE(snap.epoch, last_epoch);
+      last_epoch = snap.epoch;
+      const double first = snap->at(0, 1);
+      double sum = 0;
+      for (VertexId v = 0; v < n; ++v) sum += snap->at(v, 1);
+      EXPECT_EQ(snap->at(0, 1), first);
+      (void)sum;
+      snapshots_taken.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::thread r1(reader), r2(reader);
+
+  util::Xoshiro256 rng(137);
+  EdgeList applied(n);
+  for (int b = 0; b < 300; ++b) {
+    UpdateBatch batch;
+    // Alternate localized (k-hop) and spread (delta-fallback) batches.
+    const bool localized = b % 2 == 0;
+    const auto base = static_cast<VertexId>(rng.next_below(n - 8));
+    for (int i = 0; i < 8; ++i) {
+      const auto u = localized ? base + static_cast<VertexId>(i % 4)
+                               : static_cast<VertexId>(rng.next_below(n));
+      const auto v = localized ? base + static_cast<VertexId>(i / 2)
+                               : static_cast<VertexId>(rng.next_below(n));
+      batch.add(u, v);
+      applied.add(u, v);
+    }
+    dg.apply(batch);
+    if (b % 16 == 0) std::this_thread::yield();
+  }
+  while (snapshots_taken.load(std::memory_order_relaxed) < 16) {
+    std::this_thread::yield();
+  }
+  done.store(true, std::memory_order_release);
+  r1.join();
+  r2.join();
+
+  EXPECT_GT(dg.stats().khop_batches, 0u);
+  const auto reference = core::embed_edges(applied, labels,
+                                           {.backend =
+                                            Backend::kCompiledSerial});
+  EXPECT_LT(core::max_abs_diff(*dg.snapshot().z, reference.z), 1e-9);
+  EXPECT_EQ(dg.epoch(), 300u);
+}
+
+TEST(DynamicGeeKHop, FrontierRefreshAmortizesAcrossBatches) {
+  // Seed a substantial graph, then stream many single-edge batches: at the
+  // default 10% refresh fraction the frontier CSR must be rebuilt far
+  // fewer times than there are batches.
+  const auto el = gen::erdos_renyi_gnm(200, 4000, 139);
+  const auto labels = gen::semi_supervised_labels(200, 4, 0.5, 149);
+  Options options;
+  options.stream_update_strategy = core::UpdateStrategy::kKHop;
+  options.stream_khop_hops = 1;  // refresh machinery only engages with a halo
+  DynamicGee dg(el, labels, options);
+
+  util::Xoshiro256 rng(151);
+  for (int b = 0; b < 100; ++b) {
+    UpdateBatch batch;
+    batch.add(static_cast<VertexId>(rng.next_below(200)),
+              static_cast<VertexId>(rng.next_below(200)));
+    dg.apply(batch);
+  }
+  EXPECT_GE(dg.stats().frontier_rebuilds, 1u);
+  EXPECT_LT(dg.stats().frontier_rebuilds, 5u);  // 100 changes vs 10% of 4000
+  EXPECT_EQ(dg.stats().khop_batches, 100u);
+}
+
 TEST(DynamicGee, EmptyAndChurnOnlyBatchesPublishNothing) {
   const std::vector<std::int32_t> labels{0, 1};
   DynamicGee dg(labels);

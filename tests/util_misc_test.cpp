@@ -186,6 +186,39 @@ TEST(ParseBackend, ChoicesListEveryName) {
   }
 }
 
+// ----------------------------------------------------- update-strategy names
+
+TEST(ParseUpdateStrategy, RoundTripsEveryStrategy) {
+  for (const gee::core::UpdateStrategy s : gee::core::kAllUpdateStrategies) {
+    const std::string name = gee::core::to_string(s);
+    const auto parsed = gee::util::parse_update_strategy(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, s) << name;
+  }
+}
+
+TEST(ParseUpdateStrategy, NamesAreStable) {
+  // The names are a CLI contract (EXPERIMENTS.md invocations, CI smoke
+  // runs); renaming one is a breaking change, not a refactor.
+  EXPECT_EQ(gee::util::parse_update_strategy("serial"),
+            gee::core::UpdateStrategy::kSerial);
+  EXPECT_EQ(gee::util::parse_update_strategy("delta"),
+            gee::core::UpdateStrategy::kDelta);
+  EXPECT_EQ(gee::util::parse_update_strategy("khop"),
+            gee::core::UpdateStrategy::kKHop);
+  EXPECT_EQ(gee::util::parse_update_strategy("auto"),
+            gee::core::UpdateStrategy::kAuto);
+  EXPECT_FALSE(gee::util::parse_update_strategy("no-such-strategy")
+                   .has_value());
+}
+
+TEST(ParseUpdateStrategy, ChoicesListEveryName) {
+  const std::string choices = gee::util::update_strategy_choices();
+  for (const gee::core::UpdateStrategy s : gee::core::kAllUpdateStrategies) {
+    EXPECT_NE(choices.find(gee::core::to_string(s)), std::string::npos);
+  }
+}
+
 // ---------------------------------------------------------------------- env
 
 TEST(Env, StringUnsetAndSet) {
