@@ -1,0 +1,344 @@
+// SLO bench -- open-loop load on the sharded router, with a live writer.
+//
+// The question this answers: what latency and goodput does the serving
+// tier hold when arrivals do NOT wait for replies? A closed-loop driver
+// (issue, wait, issue) self-throttles under overload and reports flattering
+// tails -- the classic coordinated-omission trap. This harness is open
+// loop: request arrival times are drawn up front from a Poisson process
+// (exponential inter-arrivals) and each request's latency is measured from
+// its SCHEDULED arrival, so time a request spends blocked behind a slow
+// predecessor counts against the system, exactly as it would against a
+// real client. Under overload the router's bounded admission lanes shed;
+// goodput (completed replies/sec) and shed fraction tell that story
+// honestly where a closed-loop "QPS" number cannot.
+//
+// Load points are LOAD FACTORS, not absolute rates: the harness first
+// calibrates this machine's closed-loop capacity (Router::answer in a
+// tight loop -- the exact work a lane worker runs) and offers 0.5x / 1x /
+// 2x of it. Case names carry the factor ("mixed/load=2.0x"), so
+// BENCH_slo.json diffs cleanly across machines of different speeds;
+// --arrival-rate replaces the sweep with one absolute-rate case for
+// manual experiments. A background writer thread applies stream batches
+// through ShardSet::apply for the whole measurement, so every number
+// includes reader/writer interference, not a frozen graph.
+//
+// Scaling contract (DESIGN.md section 4): GEE_BENCH_SCALE divides the
+// base graph; --duration bounds each case's measurement window.
+#include "bench/common.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/report.hpp"
+#include "obs/obs.hpp"
+#include "shard/router.hpp"
+#include "shard/shard_set.hpp"
+#include "stream/update_batch.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using gee::graph::EdgeId;
+using gee::graph::VertexId;
+using gee::graph::Weight;
+using gee::shard::Router;
+using gee::shard::ShardSet;
+
+/// One pre-drawn request with its scheduled arrival offset (seconds from
+/// the case's start). Drawing the whole schedule up front keeps the
+/// generator loop allocation-free and the arrival process independent of
+/// service times -- the definition of open loop.
+struct Arrival {
+  double at_s = 0;
+  Router::Request request;
+};
+
+std::vector<Arrival> draw_schedule(double rate_per_sec, double duration_s,
+                                   VertexId n, double oos_fraction,
+                                   std::size_t fanout,
+                                   gee::util::Xoshiro256& rng) {
+  std::vector<Arrival> schedule;
+  schedule.reserve(static_cast<std::size_t>(rate_per_sec * duration_s) + 16);
+  double t = 0;
+  while (true) {
+    // Exponential inter-arrival: -ln(U)/rate, U in (0, 1].
+    t += -std::log(1.0 - rng.next_double()) / rate_per_sec;
+    if (t >= duration_s) break;
+    Arrival a;
+    a.at_s = t;
+    if (rng.next_bool(oos_fraction)) {
+      a.request.kind = Router::Request::Kind::kQuery;
+      a.request.query.neighbors.reserve(fanout);
+      for (std::size_t j = 0; j < fanout; ++j) {
+        a.request.query.neighbors.emplace_back(
+            static_cast<VertexId>(rng.next_below(n)),
+            static_cast<Weight>(1 + rng.next_below(4)));
+      }
+    } else {
+      a.request.kind = Router::Request::Kind::kLookup;
+      a.request.vertex = static_cast<VertexId>(rng.next_below(n));
+    }
+    schedule.push_back(std::move(a));
+  }
+  return schedule;
+}
+
+/// Closed-loop capacity THROUGH the admission plane: submit waves of
+/// requests and drain, until the probe window closes. Going through
+/// submit()/drain() (not answer() inline) charges the queue handoff and
+/// worker scheduling to the capacity number, so a 1.0x load factor really
+/// sits at the served rate, not at an inline rate the lanes cannot reach.
+double wave_capacity(Router& router, const std::vector<Arrival>& probe) {
+  const auto wave = static_cast<std::size_t>(
+      std::max(1, router.lane(0).config().capacity / 2));
+  gee::util::Timer timer;
+  std::size_t completed = 0;
+  while (timer.seconds() < 0.25) {
+    for (std::size_t i = 0; i < wave; ++i) {
+      const auto ticket = router.submit(
+          probe[(completed + i) % probe.size()].request,
+          [](Router::Response) {});
+      if (ticket.admitted) ++completed;
+    }
+    router.drain();
+  }
+  return static_cast<double>(completed) / timer.seconds();
+}
+
+struct CaseResult {
+  std::size_t offered = 0;
+  std::size_t completed = 0;
+  std::size_t shed = 0;
+  double elapsed_s = 0;  ///< submit start -> drain complete
+};
+
+/// Run one open-loop case: replay `schedule` against the wall clock,
+/// recording scheduled-arrival -> completion latency into `latency`.
+CaseResult run_case(Router& router, const std::vector<Arrival>& schedule,
+                    gee::obs::Histogram& latency) {
+  using Clock = std::chrono::steady_clock;
+  std::atomic<std::size_t> completed{0};
+  gee::util::Timer timer;
+  const auto t0 = Clock::now();
+
+  CaseResult r;
+  r.offered = schedule.size();
+  for (const Arrival& a : schedule) {
+    const auto due = t0 + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(a.at_s));
+    // Hybrid pacer: sleep for coarse gaps, spin the last stretch. OS sleep
+    // granularity (tens of microseconds) would otherwise make the
+    // generator itself the bottleneck at high arrival rates, silently
+    // converting the open loop back into a closed one.
+    while (Clock::now() < due) {
+      if (due - Clock::now() > std::chrono::microseconds(200)) {
+        std::this_thread::sleep_until(due - std::chrono::microseconds(100));
+      }
+    }
+    const auto ticket = router.submit(
+        a.request, [&latency, &completed, t0, at = a.at_s](Router::Response) {
+          const std::chrono::duration<double> since = Clock::now() - t0;
+          latency.record(since.count() - at);
+          completed.fetch_add(1, std::memory_order_relaxed);
+        });
+    if (!ticket.admitted) ++r.shed;
+  }
+  router.drain();
+  r.elapsed_s = timer.seconds();
+  r.completed = completed.load();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace bench = gee::bench;
+
+  gee::util::ArgParser args(
+      "bench_slo",
+      "open-loop (Poisson-arrival) SLO harness for the sharded router");
+  args.add_option("shards", "shard count for the serving tier", "2");
+  args.add_option("duration", "seconds of offered load per case", "1.0");
+  args.add_option("arrival-rate",
+                  "absolute arrivals/sec (replaces the load-factor sweep)");
+  args.add_option("oos-fraction", "fraction of out-of-sample queries", "0.2");
+  args.add_option("fanout", "neighbors per out-of-sample query", "16");
+  args.add_option("queue-capacity", "admission budget per shard lane", "512");
+  args.add_option("edge-factor", "base-graph edges per vertex", "8");
+  args.add_option("write-interval-ms", "writer batch cadence", "10");
+  args.add_option("write-batch", "edge updates per writer batch", "256");
+  if (!args.parse(argc, argv)) return 1;
+
+  const auto shards = gee::util::parse_shard_count(args.get("shards"));
+  if (!shards) {
+    gee::util::log_error("bench_slo: bad --shards '" + args.get("shards") +
+                         "' (want 1..256)");
+    return 1;
+  }
+  const double duration = args.get_double("duration");
+  const double oos_fraction =
+      std::clamp(args.get_double("oos-fraction"), 0.0, 1.0);
+  const auto fanout = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, args.get_int("fanout")));
+
+  const auto d = bench::scale_denominator();
+  const auto n = static_cast<VertexId>(1e6 / static_cast<double>(d));
+  const auto m = n * static_cast<EdgeId>(args.get_int("edge-factor"));
+
+  gee::util::log_info("slo bench: R-MAT base graph n=" + std::to_string(n) +
+                      " m=" + std::to_string(m) + ", shards=" +
+                      std::to_string(*shards));
+  const auto base = gee::gen::rmat_approx(n, m, 7);
+  const auto labels = gee::gen::semi_supervised_labels(
+      n, bench::kNumClasses, bench::kLabelFraction, 11);
+
+  // One intra-request thread per shard engine: concurrency comes from the
+  // lanes, and on a small machine intra-request fan-out would just fight
+  // the lane workers for cores.
+  gee::core::Options options;
+  options.num_threads = 1;
+  ShardSet set(base, labels, *shards, gee::shard::ShardMode::kOwned, options);
+
+  Router::Config config;
+  config.admission.capacity =
+      static_cast<int>(std::max<std::int64_t>(1, args.get_int("queue-capacity")));
+  Router router(set, config);
+
+  auto& latency = gee::obs::histogram("gee.slo.request_seconds");
+
+  // Background writer: random edge additions through ShardSet::apply on
+  // the single writer thread, running across calibration and every case so
+  // all numbers include reader/writer interference.
+  std::atomic<bool> stop_writer{false};
+  std::atomic<std::uint64_t> writer_batches{0};
+  std::thread writer([&] {
+    gee::util::Xoshiro256 wrng(99);
+    const auto interval = std::chrono::milliseconds(
+        std::max<std::int64_t>(1, args.get_int("write-interval-ms")));
+    const auto ops = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, args.get_int("write-batch")));
+    while (!stop_writer.load(std::memory_order_relaxed)) {
+      gee::stream::UpdateBatch batch;
+      batch.reserve(ops);
+      for (std::size_t i = 0; i < ops; ++i) {
+        batch.add(static_cast<VertexId>(wrng.next_below(n)),
+                  static_cast<VertexId>(wrng.next_below(n)),
+                  static_cast<Weight>(1 + wrng.next_below(4)));
+      }
+      set.apply(batch);
+      writer_batches.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(interval);
+    }
+  });
+
+  // Two-stage calibration. The wave probe bounds the served rate from
+  // above; the open-loop saturating probe then measures what an open-loop
+  // client actually extracts -- on a small machine the pacing generator
+  // costs a share of the cores, so the wave number alone would label
+  // every load factor with a rate the real harness cannot offer.
+  gee::util::Xoshiro256 rng(13);
+  const auto probe = draw_schedule(/*rate_per_sec=*/1e4, /*duration_s=*/0.1, n,
+                                   oos_fraction, fanout, rng);
+  const double upper = wave_capacity(router, probe);
+  auto saturating = draw_schedule(upper, /*duration_s=*/0.2, n, oos_fraction,
+                                  fanout, rng);
+  latency.reset();
+  const CaseResult warm = run_case(router, saturating, latency);
+  const double capacity =
+      static_cast<double>(warm.completed) / std::max(warm.elapsed_s, 1e-9);
+  gee::util::log_info("slo bench: calibrated capacity " +
+                      std::to_string(static_cast<std::int64_t>(capacity)) +
+                      " req/s (wave upper bound " +
+                      std::to_string(static_cast<std::int64_t>(upper)) + ")");
+
+  gee::bench::JsonReport report("slo");
+  report.context("scale", d);
+  report.context("n", static_cast<std::int64_t>(n));
+  report.context("m", static_cast<std::int64_t>(m));
+  report.context("shards", *shards);
+  report.context("queue_capacity", config.admission.capacity);
+  report.context("oos_fraction", args.get("oos-fraction"));
+  report.context("duration_s", args.get("duration"));
+  report.context("calibrated_capacity_per_sec",
+                 std::to_string(static_cast<std::int64_t>(capacity)));
+
+  // Named load points: factor x calibrated capacity, OR one absolute-rate
+  // case when --arrival-rate is given (its name carries no machine-varying
+  // number, so even manual runs stay diffable).
+  struct LoadPoint {
+    std::string name;
+    double rate;
+  };
+  std::vector<LoadPoint> points;
+  if (args.has("arrival-rate")) {
+    const auto rate = gee::util::parse_arrival_rate(args.get("arrival-rate"));
+    if (!rate) {
+      gee::util::log_error("bench_slo: bad --arrival-rate '" +
+                           args.get("arrival-rate") + "'");
+      return 1;
+    }
+    points.push_back({"mixed/manual-rate", *rate});
+  } else {
+    for (const double factor : {0.5, 1.0, 2.0}) {
+      char name[64];
+      std::snprintf(name, sizeof name, "mixed/load=%.1fx", factor);
+      points.push_back({name, factor * capacity});
+    }
+  }
+
+  gee::util::TextTable table(
+      "sharded router under open-loop (Poisson) load -- goodput and "
+      "scheduled-arrival latency; shed = rejected by admission control");
+  table.set_header({"case", "offered/s", "goodput/s", "shed %", "p50 us",
+                    "p99 us", "p999 us"});
+
+  for (const LoadPoint& point : points) {
+    const auto schedule =
+        draw_schedule(point.rate, duration, n, oos_fraction, fanout, rng);
+    latency.reset();
+    const CaseResult r = run_case(router, schedule, latency);
+
+    const double offered_rate =
+        static_cast<double>(r.offered) / std::max(duration, 1e-9);
+    const double goodput =
+        static_cast<double>(r.completed) / std::max(r.elapsed_s, 1e-9);
+    const double shed_fraction =
+        r.offered ? static_cast<double>(r.shed) /
+                        static_cast<double>(r.offered)
+                  : 0.0;
+
+    table.begin_row();
+    table.cell(point.name);
+    table.cell(offered_rate, 0);
+    table.cell(goodput, 0);
+    table.cell(shed_fraction * 100.0, 2);
+    table.cell(latency.quantile(0.50) * 1e6, 2);
+    table.cell(latency.quantile(0.99) * 1e6, 2);
+    table.cell(latency.quantile(0.999) * 1e6, 2);
+
+    report.begin_case(point.name);
+    report.metric("offered_per_sec", offered_rate);
+    report.metric("goodput_per_sec", goodput);
+    // Informational (no unit suffix): under overload a HIGHER shed
+    // fraction with steady goodput is the design working, not a
+    // regression, so bench_diff must not assign it a direction.
+    report.metric("shed_fraction", shed_fraction);
+    report.histogram_metrics("latency", latency);
+  }
+
+  stop_writer.store(true);
+  writer.join();
+  report.context("writer_batches",
+                 static_cast<std::int64_t>(writer_batches.load()));
+
+  bench::emit(table, "slo.csv");
+  report.write();
+  return 0;
+}

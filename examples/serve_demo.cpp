@@ -1,19 +1,20 @@
-// serve_demo -- the serving subsystem end to end: one writer streams
-// update batches into a DynamicGee while reader threads hammer a
-// QueryEngine with mixed out-of-sample query batches and in-sample
-// lookups. Reports read QPS, write throughput, and the staleness
-// distribution the serve_max_staleness bound produced -- the knob to play
-// with: 0 pins every batch to the freshest epoch (every read batch takes
-// the writer's publication lock), larger bounds trade bounded staleness
-// for pins that never contend with the writer.
+// serve_demo -- the sharded serving tier end to end: one writer streams
+// update batches through ShardSet::apply (each op routed to the shards
+// owning its endpoints) while reader threads push mixed traffic --
+// in-sample lookups, out-of-sample queries, cross-shard top-k scans --
+// through the Router's admission-controlled plane. Knobs to play with:
+// --shards splits the graph by degree-weighted ranges; --queue-capacity
+// bounds each shard's lane, so shrinking it under heavy --readers makes
+// the shed counters move.
 //
-// The staleness numbers come straight from the engine's own
-// gee.serve.staleness histogram (src/obs/) -- the demo no longer tallies
-// its own buckets, it scrapes what production monitoring would scrape.
-// --metrics-json dumps the full registry snapshot; --trace captures a
-// Chrome trace of the run (tracing-enabled builds).
+// Every number printed is scraped from the observability registry
+// (src/obs/): the router-level gee.shard.router.* counters, each lane's
+// gee.shard.NNN.* series, and the engines' gee.serve.staleness histogram.
+// The demo tallies nothing by hand -- it reads what production monitoring
+// would read. --metrics-json dumps the full registry snapshot; --trace
+// captures a Chrome trace of the run (tracing-enabled builds).
 //
-//   ./examples/serve_demo --rounds 400 --readers 2 --max-staleness 4 \
+//   ./examples/serve_demo --shards 4 --rounds 400 --readers 2 \
 //                         --metrics-json metrics.json --trace trace.json
 #include <atomic>
 #include <cstdio>
@@ -23,9 +24,9 @@
 #include "gen/erdos_renyi.hpp"
 #include "gen/labels.hpp"
 #include "obs/obs.hpp"
-#include "serve/query_engine.hpp"
 #include "serve/request.hpp"
-#include "stream/dynamic_gee.hpp"
+#include "shard/router.hpp"
+#include "shard/shard_set.hpp"
 #include "stream/update_batch.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
@@ -38,6 +39,7 @@ namespace {
 using gee::graph::EdgeId;
 using gee::graph::VertexId;
 using gee::graph::Weight;
+using gee::shard::Router;
 
 bool write_text_file(const std::string& path, const std::string& text) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -53,16 +55,18 @@ bool write_text_file(const std::string& path, const std::string& text) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  gee::util::ArgParser args("serve_demo",
-                            "mixed read/update loop over the QueryEngine");
+  gee::util::ArgParser args(
+      "serve_demo", "mixed read/update loop over the sharded serving tier");
+  args.add_option("shards", "shard count (degree-weighted ranges)", "2");
   args.add_option("vertices", "vertex count", "20000");
   args.add_option("classes", "number of classes K", "10");
   args.add_option("base-edges", "edges seeded before serving starts", "80000");
   args.add_option("rounds", "update batches the writer applies", "400");
   args.add_option("batch", "updates per writer batch", "256");
   args.add_option("readers", "reader threads", "2");
-  args.add_option("query-batch", "out-of-sample queries per read batch", "64");
+  args.add_option("query-batch", "requests each reader submits per loop", "64");
   args.add_option("neighbors", "neighbors per out-of-sample query", "8");
+  args.add_option("queue-capacity", "admission budget per shard lane", "1024");
   args.add_option("max-staleness",
                   "serve_max_staleness epoch bound (0 = always freshest)",
                   "4");
@@ -77,6 +81,12 @@ int main(int argc, char** argv) {
 
   if (!args.get("trace").empty()) gee::obs::set_tracing_enabled(true);
 
+  const auto shards = gee::util::parse_shard_count(args.get("shards"));
+  if (!shards) {
+    gee::util::log_error("bad --shards '" + args.get("shards") +
+                         "' (want 1..256)");
+    return 1;
+  }
   const auto n = static_cast<VertexId>(args.get_int("vertices"));
   const int k = static_cast<int>(args.get_int("classes"));
   const auto rounds = static_cast<int>(args.get_int("rounds"));
@@ -89,49 +99,61 @@ int main(int argc, char** argv) {
   const auto labels = gee::gen::semi_supervised_labels(n, k, 0.10, seed);
   const auto base = gee::gen::erdos_renyi_gnm(
       n, static_cast<EdgeId>(args.get_int("base-edges")), seed + 1);
-  gee::stream::DynamicGee dg(base, labels);
 
   gee::core::Options serve_options;
   serve_options.serve_max_staleness = args.get_int("max-staleness");
-  const gee::serve::QueryEngine engine(dg, serve_options);
-  std::printf("serving n=%u K=%d base_edges=%llu max_staleness=%lld\n", n, k,
-              static_cast<unsigned long long>(dg.num_live_edges()),
+  serve_options.num_threads = 1;  // parallelism = concurrent requests
+  gee::shard::ShardSet set(base, labels, *shards,
+                           gee::shard::ShardMode::kOwned, serve_options);
+  Router::Config router_config;
+  router_config.admission.capacity =
+      static_cast<int>(args.get_int("queue-capacity"));
+  Router router(set, router_config);
+
+  std::printf("serving n=%u K=%d shards=%d base_edges=%llu max_staleness=%lld\n",
+              n, k, *shards,
+              static_cast<unsigned long long>(base.num_edges()),
               static_cast<long long>(serve_options.serve_max_staleness));
 
+  // Readers submit through the admission plane and tally NOTHING: admitted,
+  // shed, and latency all land in the registry, scraped below.
   std::atomic<bool> done{false};
-  std::vector<std::uint64_t> reply_counts(static_cast<std::size_t>(num_readers),
-                                          0);
   std::vector<std::thread> readers;
-  readers.reserve(reply_counts.size());
+  readers.reserve(static_cast<std::size_t>(num_readers));
   for (int r = 0; r < num_readers; ++r) {
     readers.emplace_back([&, r] {
       gee::util::Xoshiro256 rng(seed + 100 + static_cast<std::uint64_t>(r));
-      std::uint64_t& replies = reply_counts[static_cast<std::size_t>(r)];
-      std::vector<gee::serve::VertexQuery> queries(qbatch);
-      std::vector<VertexId> ids(qbatch);
       while (!done.load(std::memory_order_acquire)) {
-        for (auto& q : queries) {  // fresh out-of-sample fan-outs
-          q.neighbors.clear();
-          for (std::size_t j = 0; j < fanout; ++j) {
-            q.neighbors.emplace_back(
-                static_cast<VertexId>(rng.next_below(n)),
-                static_cast<Weight>(1 + rng.next_below(4)) * 0.5f);
+        for (std::size_t i = 0; i < qbatch; ++i) {
+          Router::Request req;
+          const auto dice = rng.next_below(8);
+          if (dice == 0) {  // occasional cross-shard scan
+            req.kind = Router::Request::Kind::kTopKVertices;
+            req.cls = static_cast<std::int32_t>(rng.next_below(
+                static_cast<std::uint64_t>(k)));
+            req.k = 10;
+          } else if (dice < 4) {  // out-of-sample synthesis
+            req.kind = Router::Request::Kind::kQuery;
+            for (std::size_t j = 0; j < fanout; ++j) {
+              req.query.neighbors.emplace_back(
+                  static_cast<VertexId>(rng.next_below(n)),
+                  static_cast<Weight>(1 + rng.next_below(4)) * 0.5f);
+            }
+          } else {  // in-sample row read
+            req.kind = Router::Request::Kind::kLookup;
+            req.vertex = static_cast<VertexId>(rng.next_below(n));
           }
+          (void)router.submit(std::move(req), [](Router::Response) {});
         }
-        for (auto& v : ids) v = static_cast<VertexId>(rng.next_below(n));
-        // Staleness lands in the engine's gee.serve.staleness histogram;
-        // the reader only counts replies.
-        replies += engine.query_batch(queries).size();
-        replies += engine.lookup_batch(ids).size();
+        std::this_thread::yield();  // let lane workers run on small machines
       }
     });
   }
 
-  // The writer: `rounds` random update batches, yielding periodically so
-  // single-core machines interleave readers and writer.
+  // The writer: `rounds` random update batches routed shard-by-shard.
   gee::util::Timer wall;
   gee::util::Xoshiro256 rng(seed + 2);
-  std::uint64_t updates = 0;
+  std::uint64_t raw_ops = 0, routed_ops = 0;
   for (int b = 0; b < rounds; ++b) {
     gee::stream::UpdateBatch batch;
     batch.reserve(batch_size);
@@ -139,30 +161,60 @@ int main(int argc, char** argv) {
       batch.add(static_cast<VertexId>(rng.next_below(n)),
                 static_cast<VertexId>(rng.next_below(n)));
     }
-    updates += dg.apply(batch).raw_ops;
+    const auto report = set.apply(batch);
+    raw_ops += report.raw_ops;
+    routed_ops += report.routed_ops;
     if (b % 8 == 0) std::this_thread::yield();
   }
   done.store(true, std::memory_order_release);
   for (auto& t : readers) t.join();
+  router.drain();
   const double seconds = wall.seconds();
 
-  std::uint64_t total_replies = 0;
-  for (const auto c : reply_counts) total_replies += c;
+  // Router-level scrape: the gee.shard.router.* counters ARE the demo's
+  // request accounting.
+  const auto requests = gee::obs::counter("gee.shard.router.requests").value();
+  const auto admitted = gee::obs::counter("gee.shard.router.admitted").value();
+  const auto shed = gee::obs::counter("gee.shard.router.shed").value();
 
-  gee::util::TextTable table("mixed read/update loop -- " +
+  gee::util::TextTable table("sharded serving -- " +
                              std::to_string(num_readers) + " readers, " +
-                             std::to_string(rounds) + " writer batches");
+                             std::to_string(rounds) +
+                             " writer batches (gee.shard.router.* scrape)");
   table.set_header({"metric", "value"});
   auto row = [&](const char* name, double value) {
     table.begin_row();
     table.cell(name);
     table.cell(static_cast<long long>(value));
   };
-  row("read QPS", static_cast<double>(total_replies) / seconds);
-  row("write updates/s", static_cast<double>(updates) / seconds);
-  row("epochs published", static_cast<double>(dg.epoch()));
-  row("engine refreshes", static_cast<double>(engine.stats().refreshes));
+  row("requests answered/s", static_cast<double>(requests) / seconds);
+  row("requests admitted", static_cast<double>(admitted));
+  row("requests shed", static_cast<double>(shed));
+  row("writer raw ops", static_cast<double>(raw_ops));
+  row("writer routed ops", static_cast<double>(routed_ops));
   std::fputs(table.to_text().c_str(), stdout);
+
+  // Per-lane scrape: one row per shard from its gee.shard.NNN.* series.
+  gee::util::TextTable lanes("per-shard lanes (gee.shard.NNN.* scrape)");
+  lanes.set_header({"shard", "vertices", "admitted", "shed", "epoch",
+                    "req p50 us", "req p99 us"});
+  for (int s = 0; s < set.num_shards(); ++s) {
+    const std::string prefix = gee::obs::indexed_metric_name("gee.shard", s, {});
+    const auto& lane_seconds =
+        gee::obs::histogram(prefix + ".request_seconds");
+    const auto [lo, hi] = set.map().range(s);
+    lanes.begin_row();
+    lanes.cell(static_cast<long long>(s));
+    lanes.cell(static_cast<long long>(hi - lo));
+    lanes.cell(static_cast<long long>(
+        gee::obs::counter(prefix + ".admitted").value()));
+    lanes.cell(static_cast<long long>(
+        gee::obs::counter(prefix + ".shed").value()));
+    lanes.cell(static_cast<long long>(set.gee(s).epoch()));
+    lanes.cell(lane_seconds.quantile(0.50) * 1e6, 2);
+    lanes.cell(lane_seconds.quantile(0.99) * 1e6, 2);
+  }
+  std::fputs(lanes.to_text().c_str(), stdout);
 
   // Staleness distribution, scraped from the serving subsystem's own
   // histogram (readers are joined, so this is a quiescent-point read).

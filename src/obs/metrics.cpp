@@ -136,6 +136,23 @@ void Histogram::reset() noexcept {
   }
 }
 
+std::string indexed_metric_name(std::string_view prefix, int index,
+                                std::string_view suffix) {
+  std::string name;
+  name.reserve(prefix.size() + suffix.size() + 5);
+  name.append(prefix);
+  name.push_back('.');
+  const int clamped = std::clamp(index, 0, 999);
+  name.push_back(static_cast<char>('0' + clamped / 100));
+  name.push_back(static_cast<char>('0' + (clamped / 10) % 10));
+  name.push_back(static_cast<char>('0' + clamped % 10));
+  if (!suffix.empty()) {
+    name.push_back('.');
+    name.append(suffix);
+  }
+  return name;
+}
+
 // ------------------------------------------------------------------ Registry
 
 struct Registry::Impl {

@@ -196,6 +196,19 @@ class Registry {
   Impl& impl() const;
 };
 
+/// Stable name for per-index series: indexed_metric_name("gee.shard", 7,
+/// "queue_depth") == "gee.shard.007.queue_depth". The index is zero-padded
+/// to three digits so the registry's lexicographic key order -- what
+/// snapshot_json emits and bench_diff.py joins on -- matches numeric index
+/// order for any index below 1000 (shard counts are capped well under
+/// that); unpadded names would interleave shard 10 before shard 2 and
+/// churn every diff when the shard count crosses a digit boundary.
+/// Index must be in [0, 999]. An empty suffix yields the bare series
+/// prefix ("gee.shard.007") for callers that append their own leaves.
+[[nodiscard]] std::string indexed_metric_name(std::string_view prefix,
+                                              int index,
+                                              std::string_view suffix);
+
 /// Shorthands for instrumentation sites.
 inline Counter& counter(std::string_view name) {
   return Registry::instance().counter(name);

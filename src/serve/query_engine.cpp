@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <queue>
 #include <stdexcept>
 #include <utility>
 
@@ -25,8 +26,10 @@ struct ServeMetrics {
   obs::Counter& queries = obs::counter("gee.serve.queries");
   obs::Counter& batches = obs::counter("gee.serve.batches");
   obs::Counter& refreshes = obs::counter("gee.serve.refreshes");
+  obs::Counter& scans = obs::counter("gee.serve.scans");
   obs::Histogram& query_seconds = obs::histogram("gee.serve.query_seconds");
   obs::Histogram& batch_seconds = obs::histogram("gee.serve.batch_seconds");
+  obs::Histogram& scan_seconds = obs::histogram("gee.serve.scan_seconds");
   obs::Histogram& staleness = obs::histogram("gee.serve.staleness");
 
   static ServeMetrics& get() {
@@ -211,6 +214,53 @@ std::vector<QueryReply> QueryEngine::lookup_batch(
                              vertices.size());
   metrics.batch_seconds.record(timer.seconds());
   return replies;
+}
+
+std::vector<VertexScore> QueryEngine::top_k_vertices(std::int32_t cls, int k,
+                                                     VertexId lo,
+                                                     VertexId hi) const {
+  if (cls < 0 || cls >= num_classes()) {
+    throw std::out_of_range("top_k_vertices: class out of range");
+  }
+  if (lo > hi || hi > num_vertices()) {
+    throw std::out_of_range("top_k_vertices: vertex range out of range");
+  }
+
+  GEE_TRACE_SPAN("gee.serve.top_k_vertices");
+  ServeMetrics& metrics = ServeMetrics::get();
+  gee::util::Timer timer;
+  const auto pin = pin_internal();
+  const auto& z = *pin.pinned->snap;
+  const auto col = static_cast<std::size_t>(cls);
+
+  // Bounded selection: a k-sized heap whose top is the WORST-ranked
+  // member (ranks_before as the comparator makes priority_queue surface
+  // it), so the scan is O(range log k) and allocates k entries, never the
+  // range. ranks_before is a strict total order over distinct vertices,
+  // so the result is deterministic for any scan order -- here ascending v.
+  std::priority_queue<VertexScore, std::vector<VertexScore>,
+                      bool (*)(const VertexScore&, const VertexScore&)>
+      heap(&ranks_before);
+  for (VertexId v = lo; v < hi; ++v) {
+    const Real score = z.row(v)[col];
+    if (!(score > 0)) continue;  // abstention: no positive mass, no rank
+    if (k <= 0 || heap.size() < static_cast<std::size_t>(k)) {
+      heap.push({v, score});
+    } else if (ranks_before({v, score}, heap.top())) {
+      heap.pop();
+      heap.push({v, score});
+    }
+  }
+
+  std::vector<VertexScore> ranked(heap.size());
+  for (std::size_t i = ranked.size(); i-- > 0;) {
+    ranked[i] = heap.top();
+    heap.pop();
+  }
+  metrics.scans.add();
+  metrics.staleness.record(static_cast<double>(pin.staleness));
+  metrics.scan_seconds.record(timer.seconds());
+  return ranked;
 }
 
 QueryEngine::Stats QueryEngine::stats() const noexcept {

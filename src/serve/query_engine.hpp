@@ -73,6 +73,24 @@ class QueryEngine {
   [[nodiscard]] std::vector<QueryReply> lookup_batch(
       std::span<const graph::VertexId> vertices) const;
 
+  /// The k vertices in [lo, hi) whose pinned-snapshot row carries the
+  /// largest strictly-positive mass in class column `cls`, ranked by
+  /// serve::ranks_before; zero/negative-mass vertices are omitted (the
+  /// abstention contract), so fewer than k entries may return. k <= 0
+  /// returns every positive-mass vertex in the range. The range parameter
+  /// exists for the sharded tier: a shard scans exactly the rows it owns
+  /// and the router merges (src/shard/router.hpp). Throws
+  /// std::out_of_range for cls outside [0, num_classes()) or a range not
+  /// within [0, num_vertices()].
+  [[nodiscard]] std::vector<VertexScore> top_k_vertices(
+      std::int32_t cls, int k, graph::VertexId lo, graph::VertexId hi) const;
+
+  /// Full-range overload: the unsharded baseline of the scan.
+  [[nodiscard]] std::vector<VertexScore> top_k_vertices(std::int32_t cls,
+                                                        int k) const {
+    return top_k_vertices(cls, k, 0, num_vertices());
+  }
+
   /// The snapshot queries would be answered from right now, refreshing the
   /// pin first if it exceeds the staleness bound. Exposed so callers can
   /// run richer read-side work (classification sweeps, clustering) against

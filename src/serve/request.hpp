@@ -56,4 +56,24 @@ struct QueryReply {
 [[nodiscard]] std::vector<ClassScore> top_k_classes(std::span<const Real> row,
                                                     int k);
 
+/// One in-sample vertex's mass in a class column -- the unit of top-k
+/// vertex rankings ("who is most strongly in class c", the
+/// recommendation-shaped scan the sharded tier fans out).
+struct VertexScore {
+  graph::VertexId vertex = 0;
+  Real score = 0;
+
+  friend bool operator==(const VertexScore&, const VertexScore&) = default;
+};
+
+/// THE ranking order of top-k vertex results: score descending, ties
+/// toward the smaller vertex id -- a strict total order over distinct
+/// vertices, which is what makes the cross-shard merge deterministic and
+/// bitwise-equal to a single-engine scan (DESIGN.md section 11).
+/// QueryEngine::top_k_vertices and the Router's merge both rank with it.
+[[nodiscard]] inline bool ranks_before(const VertexScore& a,
+                                       const VertexScore& b) noexcept {
+  return a.score > b.score || (a.score == b.score && a.vertex < b.vertex);
+}
+
 }  // namespace gee::serve

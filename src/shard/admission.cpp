@@ -1,0 +1,124 @@
+#include "shard/admission.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace gee::shard {
+
+namespace {
+
+double unpack_double(std::uint64_t bits) noexcept {
+  double v;
+  __builtin_memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::uint64_t pack_double(double v) noexcept {
+  std::uint64_t bits;
+  __builtin_memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+/// EMA smoothing: ~20 requests of memory -- fast enough to track a load
+/// shift, slow enough that one slow request doesn't spike every hint.
+constexpr double kEmaAlpha = 0.05;
+constexpr double kRetryAfterFloorSeconds = 100e-6;
+
+}  // namespace
+
+AdmissionQueue::AdmissionQueue(const std::string& metric_prefix, Config config)
+    : config_{std::max(0, config.capacity), std::max(1, config.workers)},
+      depth_gauge_(obs::gauge(metric_prefix + ".queue_depth")),
+      admitted_(obs::counter(metric_prefix + ".admitted")),
+      shed_(obs::counter(metric_prefix + ".shed")),
+      request_seconds_(obs::histogram(metric_prefix + ".request_seconds")) {
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+AdmissionQueue::~AdmissionQueue() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  ready_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+bool AdmissionQueue::try_submit(Task task) {
+  const auto now = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!stop_ && queue_.size() < static_cast<std::size_t>(config_.capacity)) {
+      queue_.push_back({std::move(task), now});
+      const auto d = queue_.size();
+      depth_.store(d, std::memory_order_relaxed);
+      depth_gauge_.set(static_cast<double>(d));
+      admitted_.add();
+      // Notify under the lock: cheap at these rates, and a worker can
+      // never miss the wakeup between predicate check and wait.
+      ready_.notify_one();
+      return true;
+    }
+  }
+  shed_.add();
+  return false;
+}
+
+double AdmissionQueue::ema_task_seconds() const noexcept {
+  return unpack_double(ema_bits_.load(std::memory_order_relaxed));
+}
+
+double AdmissionQueue::retry_after_seconds() const noexcept {
+  const double backlog = static_cast<double>(depth()) * ema_task_seconds();
+  return std::max(kRetryAfterFloorSeconds, backlog);
+}
+
+void AdmissionQueue::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void AdmissionQueue::worker_loop() {
+  for (;;) {
+    Entry entry;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and nothing left to serve
+      entry = std::move(queue_.front());
+      queue_.pop_front();
+      const auto d = queue_.size();
+      depth_.store(d, std::memory_order_relaxed);
+      depth_gauge_.set(static_cast<double>(d));
+      ++in_flight_;
+    }
+
+    const auto started = std::chrono::steady_clock::now();
+    entry.task();
+    const auto finished = std::chrono::steady_clock::now();
+
+    // Histogram: admission -> completion (what a client experiences).
+    // EMA: pure service time -- the drain rate the retry-after hint needs;
+    // folding queue wait in would double-count the backlog.
+    request_seconds_.record(
+        std::chrono::duration<double>(finished - entry.admitted).count());
+    const double service =
+        std::chrono::duration<double>(finished - started).count();
+    const double prev = ema_task_seconds();
+    ema_bits_.store(
+        pack_double(prev == 0.0 ? service
+                                : prev + kEmaAlpha * (service - prev)),
+        std::memory_order_relaxed);
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) drained_.notify_all();
+    }
+  }
+}
+
+}  // namespace gee::shard

@@ -1,0 +1,112 @@
+// AdmissionQueue: one shard's bounded request lane -- the backpressure
+// element of the sharded serving tier (DESIGN.md section 11).
+//
+// Production overload policy in one sentence: admit up to a fixed queue
+// budget, serve admitted requests in FIFO order on dedicated workers, and
+// REJECT everything beyond the budget immediately with a retry-after hint
+// -- never block the caller and never let the queue (and therefore tail
+// latency) grow without bound. Under open-loop traffic an unbounded queue
+// converts overload into unbounded p99; a bounded one converts it into
+// explicit shed responses the client can back off on, which is the only
+// honest answer once arrival rate exceeds service rate.
+//
+// The retry-after hint is depth x an EMA of recent per-request service
+// time: the time by which the backlog in front of a retry would have
+// drained if arrivals paused -- cheap, self-calibrating, and monotone in
+// the overload.
+//
+// Instrumentation (src/obs/, per-shard series under the zero-padded
+// indexed_metric_name scheme so snapshot_json key order is stable):
+//   <prefix>.queue_depth       gauge    depth after each enqueue/dequeue
+//   <prefix>.admitted          counter  tasks accepted
+//   <prefix>.shed              counter  tasks rejected at the budget
+//   <prefix>.request_seconds   histogram  admission -> completion latency
+//
+// Threading: any number of producers call try_submit concurrently;
+// `workers` dedicated threads drain the queue; drain() may be called by
+// any one thread at a time. Destruction stops the workers after the queue
+// empties (admitted work always completes).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace gee::shard {
+
+class AdmissionQueue {
+ public:
+  struct Config {
+    int capacity = 1024;  ///< admission budget (queued, not yet running)
+    int workers = 1;      ///< dedicated worker threads
+  };
+
+  using Task = std::function<void()>;
+
+  /// `metric_prefix` names this lane's obs series (e.g. the result of
+  /// obs::indexed_metric_name composition: "gee.shard.003").
+  AdmissionQueue(const std::string& metric_prefix, Config config);
+  ~AdmissionQueue();
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Admit `task` unless the queue already holds `capacity` entries.
+  /// Never blocks: returns true (task will run exactly once on a worker)
+  /// or false (shed; task dropped, counters updated).
+  bool try_submit(Task task);
+
+  /// Queued-but-not-started entries (lock-free approximate read).
+  [[nodiscard]] std::size_t depth() const noexcept {
+    return depth_.load(std::memory_order_relaxed);
+  }
+
+  /// EMA of recent per-task service seconds (0 until the first task).
+  [[nodiscard]] double ema_task_seconds() const noexcept;
+
+  /// Suggested client back-off after a shed: current backlog x EMA
+  /// service time, floored at 100us so an idle-queue shed (capacity 0 or
+  /// a race) still tells the client to wait a beat.
+  [[nodiscard]] double retry_after_seconds() const noexcept;
+
+  /// Block until every admitted task has completed (queue empty AND no
+  /// task in flight). Producers should be quiesced first; tasks admitted
+  /// while drain() waits extend the wait.
+  void drain();
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  struct Entry {
+    Task task;
+    std::chrono::steady_clock::time_point admitted;
+  };
+
+  void worker_loop();
+
+  Config config_;
+  obs::Gauge& depth_gauge_;
+  obs::Counter& admitted_;
+  obs::Counter& shed_;
+  obs::Histogram& request_seconds_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;   ///< workers wait for work or stop
+  std::condition_variable drained_; ///< drain() waits for quiescence
+  std::deque<Entry> queue_;
+  std::atomic<std::size_t> depth_{0};
+  std::atomic<std::uint64_t> ema_bits_{0};  ///< double, relaxed store
+  int in_flight_ = 0;                       ///< guarded by mutex_
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gee::shard

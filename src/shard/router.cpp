@@ -1,0 +1,190 @@
+#include "shard/router.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace gee::shard {
+
+namespace {
+
+/// Router-level series (lane-level ones live in AdmissionQueue).
+struct RouterMetrics {
+  obs::Counter& requests = obs::counter("gee.shard.router.requests");
+  obs::Counter& admitted = obs::counter("gee.shard.router.admitted");
+  obs::Counter& shed = obs::counter("gee.shard.router.shed");
+
+  static RouterMetrics& get() {
+    static RouterMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
+
+Router::Router(const ShardSet& shards, Config config) : set_(&shards) {
+  const int n = set_->num_shards();
+  lanes_.reserve(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    lanes_.push_back(std::make_unique<AdmissionQueue>(
+        obs::indexed_metric_name("gee.shard", s, {}), config.admission));
+  }
+}
+
+int Router::route_vertex(graph::VertexId v) const {
+  if (v >= set_->num_vertices()) {
+    throw std::out_of_range("Router: vertex out of range");
+  }
+  return set_->mode() == ShardMode::kReplicated ? next_replica()
+                                                : set_->map().shard_of(v);
+}
+
+int Router::next_replica() const noexcept {
+  return static_cast<int>(round_robin_.fetch_add(1, std::memory_order_relaxed) %
+                          static_cast<std::uint32_t>(set_->num_shards()));
+}
+
+serve::QueryReply Router::lookup(graph::VertexId v) const {
+  RouterMetrics::get().requests.add();
+  return set_->engine(route_vertex(v)).lookup(v);
+}
+
+std::vector<serve::QueryReply> Router::lookup_batch(
+    std::span<const graph::VertexId> vertices) const {
+  RouterMetrics::get().requests.add();
+  const graph::VertexId n = set_->num_vertices();
+  for (const auto v : vertices) {
+    if (v >= n) throw std::out_of_range("Router: vertex out of range");
+  }
+
+  if (set_->mode() == ShardMode::kReplicated) {
+    return set_->engine(next_replica()).lookup_batch(vertices);
+  }
+
+  // Group by owning shard, answer per group, scatter back: reply i must
+  // land at position i regardless of which shard produced it.
+  const int shards = set_->num_shards();
+  std::vector<std::vector<graph::VertexId>> ids(
+      static_cast<std::size_t>(shards));
+  std::vector<std::vector<std::size_t>> positions(
+      static_cast<std::size_t>(shards));
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const auto s = static_cast<std::size_t>(set_->map().shard_of(vertices[i]));
+    ids[s].push_back(vertices[i]);
+    positions[s].push_back(i);
+  }
+
+  std::vector<serve::QueryReply> replies(vertices.size());
+  for (int s = 0; s < shards; ++s) {
+    const auto& group = ids[static_cast<std::size_t>(s)];
+    if (group.empty()) continue;
+    auto answered = set_->engine(s).lookup_batch(group);
+    auto& pos = positions[static_cast<std::size_t>(s)];
+    for (std::size_t j = 0; j < answered.size(); ++j) {
+      replies[pos[j]] = std::move(answered[j]);
+    }
+  }
+  return replies;
+}
+
+serve::QueryReply Router::query(const serve::VertexQuery& q) const {
+  RouterMetrics::get().requests.add();
+  return set_->engine(next_replica()).query(q);
+}
+
+std::vector<serve::QueryReply> Router::query_batch(
+    std::span<const serve::VertexQuery> queries) const {
+  RouterMetrics::get().requests.add();
+  const int shards = set_->num_shards();
+  std::vector<serve::QueryReply> replies;
+  replies.reserve(queries.size());
+  for (int s = 0; s < shards; ++s) {
+    const std::size_t lo = queries.size() * static_cast<std::size_t>(s) /
+                           static_cast<std::size_t>(shards);
+    const std::size_t hi = queries.size() * (static_cast<std::size_t>(s) + 1) /
+                           static_cast<std::size_t>(shards);
+    if (lo == hi) continue;
+    auto chunk = set_->engine(s).query_batch(queries.subspan(lo, hi - lo));
+    for (auto& r : chunk) replies.push_back(std::move(r));
+  }
+  return replies;
+}
+
+std::vector<serve::VertexScore> Router::top_k_vertices(std::int32_t cls,
+                                                       int k) const {
+  RouterMetrics::get().requests.add();
+  if (set_->mode() == ShardMode::kReplicated) {
+    return set_->engine(next_replica()).top_k_vertices(cls, k);
+  }
+
+  // Owned mode: a global top-k member is necessarily in its shard's local
+  // top-k (its range-restricted rank can only be better), so merging the
+  // per-shard lists loses nothing. The comparator is a strict total order
+  // over distinct vertices and shard scores are bitwise equal to the
+  // unsharded engine's, so the merge reproduces its answer exactly.
+  std::vector<serve::VertexScore> merged;
+  for (int s = 0; s < set_->num_shards(); ++s) {
+    const auto [lo, hi] = set_->map().range(s);
+    auto local = set_->engine(s).top_k_vertices(cls, k, lo, hi);
+    merged.insert(merged.end(), local.begin(), local.end());
+  }
+  std::sort(merged.begin(), merged.end(), serve::ranks_before);
+  if (k > 0 && merged.size() > static_cast<std::size_t>(k)) {
+    merged.resize(static_cast<std::size_t>(k));
+  }
+  return merged;
+}
+
+std::vector<serve::ClassScore> Router::top_k_classes(
+    const serve::VertexQuery& q, int k) const {
+  return serve::top_k_classes(query(q).row, k);
+}
+
+std::vector<serve::ClassScore> Router::top_k_classes(graph::VertexId v,
+                                                     int k) const {
+  return serve::top_k_classes(lookup(v).row, k);
+}
+
+Router::Response Router::answer(const Request& req) const {
+  Response r;
+  r.kind = req.kind;
+  switch (req.kind) {
+    case Request::Kind::kLookup:
+      r.reply = lookup(req.vertex);
+      break;
+    case Request::Kind::kQuery:
+      r.reply = query(req.query);
+      break;
+    case Request::Kind::kTopKVertices:
+      r.ranked = top_k_vertices(req.cls, req.k);
+      break;
+  }
+  return r;
+}
+
+Router::Ticket Router::submit(Request req, Callback done) {
+  RouterMetrics& metrics = RouterMetrics::get();
+  const int s = req.kind == Request::Kind::kLookup ? route_vertex(req.vertex)
+                                                   : next_replica();
+  AdmissionQueue& lane = *lanes_[static_cast<std::size_t>(s)];
+  // The task owns its request and callback; the lane guarantees it runs
+  // exactly once or not at all (shed below).
+  const bool admitted = lane.try_submit(
+      [this, req = std::move(req), done = std::move(done)]() mutable {
+        done(answer(req));
+      });
+  if (admitted) {
+    metrics.admitted.add();
+    return {true, 0};
+  }
+  metrics.shed.add();
+  return {false, lane.retry_after_seconds()};
+}
+
+void Router::drain() {
+  for (auto& lane : lanes_) lane->drain();
+}
+
+}  // namespace gee::shard

@@ -1,0 +1,143 @@
+// Router: the request plane of the sharded serving tier (DESIGN.md
+// section 11).
+//
+// Two surfaces over one answer path:
+//
+//  * The SYNCHRONOUS data plane (lookup/query/top_k_*): routes each
+//    request to the shard(s) that can answer it and merges. Single-vertex
+//    requests hash to their owning shard (kOwned) or round-robin across
+//    replicas (kReplicated); out-of-sample queries round-robin everywhere
+//    (any shard synthesizes the row bitwise-identically); top-k vertex
+//    scans fan out to every shard's owned range and merge the local
+//    top-k lists under serve::ranks_before -- a pure selection over
+//    bitwise-identical scores through a strict total order, so the merged
+//    answer is bitwise equal to a single unsharded engine's
+//    (conformance-asserted). Thread-safe: any number of callers.
+//
+//  * The ADMISSION-CONTROLLED plane (submit/drain): the same answers
+//    behind per-shard bounded AdmissionQueues. submit() never blocks --
+//    it either enqueues the request on its shard's lane (the callback
+//    fires on a lane worker with the answer) or sheds with a retry-after
+//    hint once the lane is at its budget. This is the surface the
+//    open-loop SLO harness (bench/bench_slo.cpp) drives: under overload
+//    the bounded lanes turn excess arrivals into explicit rejections
+//    instead of unbounded queueing delay.
+//
+// A cross-shard top-k submitted through the admission plane occupies one
+// lane ticket and performs its fan-out scan synchronously on that lane's
+// worker (reader fan-out is thread-safe); admission control is per-lane,
+// so a scan-heavy mix should size lane budgets accordingly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "serve/query_engine.hpp"
+#include "serve/request.hpp"
+#include "shard/admission.hpp"
+#include "shard/shard_set.hpp"
+
+namespace gee::shard {
+
+class Router {
+ public:
+  struct Config {
+    AdmissionQueue::Config admission;  ///< per-shard lane budget/workers
+  };
+
+  /// Serve `shards` (must outlive the router). Lane metrics register as
+  /// gee.shard.<NNN>.* immediately, so a scrape sees every shard from the
+  /// first snapshot.
+  explicit Router(const ShardSet& shards, Config config = {});
+
+  // ------------------------------------------------- synchronous plane
+
+  /// In-sample lookup, routed to vertex v's owning shard.
+  [[nodiscard]] serve::QueryReply lookup(graph::VertexId v) const;
+
+  /// Batched lookups: ids grouped by owning shard, each group answered by
+  /// its shard's engine against ONE pinned shard snapshot, replies
+  /// scattered back to request order. Bitwise equal per reply to an
+  /// unsharded engine (replies are independent row reads).
+  [[nodiscard]] std::vector<serve::QueryReply> lookup_batch(
+      std::span<const graph::VertexId> vertices) const;
+
+  /// Out-of-sample query, round-robined (any shard answers identically).
+  [[nodiscard]] serve::QueryReply query(const serve::VertexQuery& q) const;
+
+  /// Batched out-of-sample queries: the span is split into one contiguous
+  /// chunk per shard (replies are shard-invariant, so chunking is load
+  /// balancing, not semantics) and reassembled in request order.
+  [[nodiscard]] std::vector<serve::QueryReply> query_batch(
+      std::span<const serve::VertexQuery> queries) const;
+
+  /// Cross-shard top-k: every shard scans its owned range, the local
+  /// top-k lists merge under serve::ranks_before. kReplicated skips the
+  /// merge (one replica scans the full range).
+  [[nodiscard]] std::vector<serve::VertexScore> top_k_vertices(
+      std::int32_t cls, int k) const;
+
+  /// Class ranking of an out-of-sample row / an in-sample vertex's row.
+  [[nodiscard]] std::vector<serve::ClassScore> top_k_classes(
+      const serve::VertexQuery& q, int k) const;
+  [[nodiscard]] std::vector<serve::ClassScore> top_k_classes(graph::VertexId v,
+                                                             int k) const;
+
+  // ------------------------------------- admission-controlled plane
+
+  struct Request {
+    enum class Kind : std::uint8_t { kLookup, kQuery, kTopKVertices };
+    Kind kind = Kind::kLookup;
+    graph::VertexId vertex = 0;   ///< kLookup
+    serve::VertexQuery query;     ///< kQuery
+    std::int32_t cls = 0;         ///< kTopKVertices
+    int k = 0;                    ///< kTopKVertices
+  };
+
+  struct Response {
+    Request::Kind kind = Request::Kind::kLookup;
+    serve::QueryReply reply;                 ///< kLookup / kQuery
+    std::vector<serve::VertexScore> ranked;  ///< kTopKVertices
+  };
+
+  /// submit()'s immediate verdict. kShed responses carry the lane's
+  /// retry-after hint; the callback never fires for them.
+  struct Ticket {
+    bool admitted = false;
+    double retry_after_s = 0;  ///< 0 when admitted
+  };
+
+  using Callback = std::function<void(Response)>;
+
+  /// Route `req` to its lane and either enqueue it (callback fires once,
+  /// on a lane worker, with the answer) or shed. Never blocks. Callable
+  /// from any thread.
+  Ticket submit(Request req, Callback done);
+
+  /// Block until every admitted request has completed (quiesce producers
+  /// first). The open-loop harness's end-of-run barrier.
+  void drain();
+
+  /// Answer `req` inline (the lane workers' execution path, exposed so
+  /// calibration and tests exercise exactly what admitted requests run).
+  [[nodiscard]] Response answer(const Request& req) const;
+
+  [[nodiscard]] int num_shards() const noexcept { return set_->num_shards(); }
+  [[nodiscard]] const AdmissionQueue& lane(int s) const noexcept {
+    return *lanes_[static_cast<std::size_t>(s)];
+  }
+
+ private:
+  [[nodiscard]] int route_vertex(graph::VertexId v) const;
+  [[nodiscard]] int next_replica() const noexcept;
+
+  const ShardSet* set_;
+  std::vector<std::unique_ptr<AdmissionQueue>> lanes_;
+  mutable std::atomic<std::uint32_t> round_robin_{0};
+};
+
+}  // namespace gee::shard

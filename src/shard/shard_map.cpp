@@ -1,0 +1,56 @@
+#include "shard/shard_map.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "partition/partitioner.hpp"
+
+namespace gee::shard {
+
+namespace {
+
+int clamp_shards(int requested) {
+  return std::clamp(requested, 1, kMaxShards);
+}
+
+}  // namespace
+
+ShardMap ShardMap::build(const graph::EdgeList& base, VertexId n,
+                         int num_shards) {
+  const int shards = clamp_shards(num_shards);
+  // Endpoint mass per vertex: one unit per incident edge side, +1 so the
+  // quantile split still spreads vertices when the base graph is sparse or
+  // empty. uint64 prefix: n + m fits, and split_by_weight wants an
+  // exclusive prefix sum with the total appended.
+  std::vector<std::uint64_t> prefix(static_cast<std::size_t>(n) + 1, 0);
+  for (std::size_t i = 0; i < base.num_edges(); ++i) {
+    // Weight lands at index v+1 so the exclusive prefix below owns it.
+    prefix[static_cast<std::size_t>(base.src(i)) + 1] += 1;
+    prefix[static_cast<std::size_t>(base.dst(i)) + 1] += 1;
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    const auto i = static_cast<std::size_t>(v);
+    prefix[i + 1] += prefix[i] + 1;
+  }
+  return ShardMap(partition::split_by_weight(
+      std::span<const std::uint64_t>(prefix), shards));
+}
+
+ShardMap ShardMap::uniform(VertexId n, int num_shards) {
+  const int shards = clamp_shards(num_shards);
+  std::vector<VertexId> starts(static_cast<std::size_t>(shards) + 1);
+  for (int s = 0; s <= shards; ++s) {
+    starts[static_cast<std::size_t>(s)] = static_cast<VertexId>(
+        static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(s) /
+        static_cast<std::uint64_t>(shards));
+  }
+  return ShardMap(std::move(starts));
+}
+
+int ShardMap::shard_of(VertexId v) const noexcept {
+  // First boundary strictly greater than v opens the owning range.
+  const auto it = std::upper_bound(starts_.begin() + 1, starts_.end(), v);
+  return static_cast<int>(it - starts_.begin()) - 1;
+}
+
+}  // namespace gee::shard

@@ -1,0 +1,75 @@
+// ShardMap: the vertex -> shard assignment of the sharded serving tier.
+//
+// Shards own contiguous vertex ranges, exactly like the partition engine's
+// block ownership (partition/plan.hpp) one level up: where a partition
+// block owns rows so one WORKER applies updates without atomics, a shard
+// owns rows so one ENGINE REPLICA serves them without consulting the
+// others. The boundaries come from the same degree-weighted quantile split
+// (partition::split_by_weight over the base graph's incident-edge counts),
+// so shards are load-balanced by edge mass rather than vertex count -- on
+// a power-law graph equal-width ranges would hand one shard all the hub
+// traffic, both at seed time (its replica embeds most of the edges) and at
+// serve time (hub rows answer most lookups).
+//
+// The map is immutable after build and trivially shareable: routing a
+// request is one branchless binary search over num_shards + 1 boundaries.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace gee::shard {
+
+using graph::EdgeId;
+using graph::VertexId;
+
+/// Shard counts are clamped to [1, kMaxShards]; an in-process tier with
+/// more replicas than this is a configuration error, not a deployment.
+/// Also the bound that keeps obs::indexed_metric_name's three-digit
+/// padding (and therefore snapshot_json's sorted key order) numeric.
+inline constexpr int kMaxShards = 256;
+
+class ShardMap {
+ public:
+  /// Degree-weighted boundaries over [0, n): each shard's range carries a
+  /// near-equal share of `base`'s endpoint mass (every edge contributes
+  /// one unit to each endpoint; self-loops contribute two to one vertex).
+  /// A +1 per vertex keeps isolated-vertex runs from collapsing into the
+  /// neighboring shard. `num_shards` is clamped to [1, kMaxShards].
+  static ShardMap build(const graph::EdgeList& base, VertexId n,
+                        int num_shards);
+
+  /// Uniform ranges (no base graph to weigh -- replicated tiers, tests).
+  static ShardMap uniform(VertexId n, int num_shards);
+
+  [[nodiscard]] int num_shards() const noexcept {
+    return static_cast<int>(starts_.size()) - 1;
+  }
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return starts_.empty() ? 0 : starts_.back();
+  }
+
+  /// Owning shard of vertex v (v must be < num_vertices()).
+  [[nodiscard]] int shard_of(VertexId v) const noexcept;
+
+  /// Shard s exclusively owns vertices [first, second).
+  [[nodiscard]] std::pair<VertexId, VertexId> range(int s) const noexcept {
+    return {starts_[static_cast<std::size_t>(s)],
+            starts_[static_cast<std::size_t>(s) + 1]};
+  }
+
+  /// num_shards() + 1 nondecreasing boundaries; starts()[0] == 0.
+  [[nodiscard]] std::span<const VertexId> starts() const noexcept {
+    return starts_;
+  }
+
+ private:
+  explicit ShardMap(std::vector<VertexId> starts) : starts_(std::move(starts)) {}
+  std::vector<VertexId> starts_;
+};
+
+}  // namespace gee::shard

@@ -71,6 +71,20 @@ class UpdateBatch {
   /// order per pair, in double, cast once on output.
   [[nodiscard]] std::vector<Delta> coalesce() const;
 
+  /// One appended operation, exactly as recorded (arrival order, no
+  /// coalescing). Lets routers (src/shard/) split a batch into per-shard
+  /// sub-batches that replay the same ops in the same order.
+  struct Op {
+    VertexId u = 0;
+    VertexId v = 0;
+    Weight weight = 0;  ///< magnitude as passed to add()/remove()
+    bool is_add = true;
+  };
+  [[nodiscard]] Op op(std::size_t i) const noexcept {
+    const Weight w = weight_[i];
+    return {src_[i], dst_[i], w < 0 ? -w : w, w > 0};
+  }
+
  private:
   void append(VertexId u, VertexId v, Weight w, bool is_add);
 

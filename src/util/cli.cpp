@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
@@ -37,6 +38,34 @@ std::string update_strategy_choices() {
     choices += gee::core::to_string(s);
   }
   return choices;
+}
+
+std::optional<int> parse_shard_count(const std::string& text, int max_shards) {
+  if (text.empty()) return std::nullopt;
+  std::size_t consumed = 0;
+  long value = 0;
+  try {
+    value = std::stol(text, &consumed, /*base=*/10);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (consumed != text.size()) return std::nullopt;  // "4x", "1e2"
+  if (value < 1 || value > max_shards) return std::nullopt;
+  return static_cast<int>(value);
+}
+
+std::optional<double> parse_arrival_rate(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  std::size_t consumed = 0;
+  double value = 0;
+  try {
+    value = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (consumed != text.size()) return std::nullopt;
+  if (!(value > 0) || !std::isfinite(value)) return std::nullopt;
+  return value;
 }
 
 void ArgParser::add_option(const std::string& name, const std::string& help,

@@ -43,6 +43,18 @@ namespace gee::util {
 /// bench_stream --strategies).
 [[nodiscard]] std::vector<std::string> split_csv(const std::string& csv);
 
+/// Parse a --shards value: a base-10 integer in [1, max_shards] with no
+/// trailing junk ("4" yes, "4x"/""/"-1"/"1e2" no). nullopt on anything
+/// else, so callers reject bad input with a message instead of clamping
+/// silently. `max_shards` defaults to shard::ShardMap's bound (256).
+[[nodiscard]] std::optional<int> parse_shard_count(const std::string& text,
+                                                   int max_shards = 256);
+
+/// Parse an --arrival-rate value: a strictly positive finite double with
+/// no trailing junk ("1500", "2.5e3"). nullopt otherwise (zero, negative,
+/// inf/nan, or non-numeric text).
+[[nodiscard]] std::optional<double> parse_arrival_rate(const std::string& text);
+
 class ArgParser {
  public:
   ArgParser(std::string program, std::string description)

@@ -36,9 +36,16 @@
 
 #include "gee/gee.hpp"
 #include "graph/builder.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/request.hpp"
+#include "shard/router.hpp"
+#include "shard/shard_set.hpp"
 #include "simd/simd.hpp"
+#include "stream/dynamic_gee.hpp"
+#include "stream/update_batch.hpp"
 #include "testing/random_graphs.hpp"
 #include "util/env.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -268,6 +275,95 @@ TEST(BackendConformance, DeterministicBackendsReproduceAcrossRuns) {
       const auto first = core::embed(g, rg.labels, options);
       const auto second = core::embed(g, rg.labels, options);
       EXPECT_EQ(max_abs_diff(first.z, second.z), 0.0);
+    }
+  }
+}
+
+// The sharded serving tier's conformance contract (DESIGN.md section 11):
+// for ANY shard count and either placement mode, every answer the Router
+// serves -- in-sample lookups, out-of-sample synthesis, class rankings,
+// cross-shard top-k vertex merges -- is bitwise equal to a single
+// unsharded QueryEngine over the same graph, before AND after a stream
+// batch lands on both sides. Same harness scaling as the backend sweep:
+// GEE_CONFORMANCE_SEEDS widens it in the stress ctest entry.
+TEST(ShardConformance, RouterMatchesUnshardedEngineBitwise) {
+  using serve::VertexQuery;
+  using shard::Router;
+  using shard::ShardMode;
+  using shard::ShardSet;
+
+  const int seeds = conformance_seeds();
+  for (int s = 0; s < seeds; ++s) {
+    for (const auto& rg :
+         testutil::random_graph_matrix(9000 + s, small_params())) {
+      const graph::VertexId n = rg.edges.num_vertices();
+      util::Xoshiro256 rng(util::hash_combine(rg.seed, 101));
+
+      // One stream batch, pre-drawn so every shard configuration and the
+      // references see the identical op sequence.
+      stream::UpdateBatch batch;
+      for (int i = 0; i < 48; ++i) {
+        batch.add(static_cast<graph::VertexId>(rng.next_below(n)),
+                  static_cast<graph::VertexId>(rng.next_below(n)),
+                  static_cast<graph::Weight>(1 + rng.next_below(4)) * 0.5f);
+      }
+
+      // Unsharded references for both sides of the batch.
+      stream::DynamicGee before_gee(rg.edges, rg.labels);
+      const serve::QueryEngine before(before_gee);
+      stream::DynamicGee after_gee(rg.edges, rg.labels);
+      after_gee.apply(batch);
+      const serve::QueryEngine after(after_gee);
+
+      std::vector<graph::VertexId> probes{0, n / 3, n / 2, n - 1};
+      std::vector<VertexQuery> oos(3);
+      for (auto& q : oos) {
+        for (int j = 0; j < 5; ++j) {
+          q.neighbors.emplace_back(
+              static_cast<graph::VertexId>(rng.next_below(n)),
+              static_cast<graph::Weight>(1 + rng.next_below(3)));
+        }
+      }
+
+      auto expect_parity = [&](const Router& router,
+                               const serve::QueryEngine& reference) {
+        for (const auto v : probes) {
+          ASSERT_EQ(router.lookup(v).row, reference.lookup(v).row)
+              << "lookup v=" << v;
+        }
+        for (const auto& q : oos) {
+          ASSERT_EQ(router.query(q).row, reference.query(q).row);
+        }
+        const auto ranked_classes = router.top_k_classes(probes[1], 3);
+        const auto expected_classes =
+            serve::top_k_classes(reference.lookup(probes[1]).row, 3);
+        ASSERT_EQ(ranked_classes.size(), expected_classes.size());
+        for (std::size_t i = 0; i < expected_classes.size(); ++i) {
+          ASSERT_EQ(ranked_classes[i].cls, expected_classes[i].cls);
+          ASSERT_EQ(ranked_classes[i].score, expected_classes[i].score);
+        }
+        const int classes = reference.num_classes();
+        for (const std::int32_t cls : {0, classes - 1}) {
+          for (const int k : {1, 7, 0}) {
+            ASSERT_EQ(router.top_k_vertices(cls, k),
+                      reference.top_k_vertices(cls, k))
+                << "cls=" << cls << " k=" << k;
+          }
+        }
+      };
+
+      for (const int shards : {1, 2, 3, 7}) {
+        for (const ShardMode mode :
+             {ShardMode::kOwned, ShardMode::kReplicated}) {
+          SCOPED_TRACE(rg.name + " / shards=" + std::to_string(shards) +
+                       " / " + shard::to_string(mode));
+          ShardSet set(rg.edges, rg.labels, shards, mode);
+          Router router(set);
+          expect_parity(router, before);
+          set.apply(batch);
+          expect_parity(router, after);
+        }
+      }
     }
   }
 }

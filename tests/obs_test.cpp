@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <limits>
@@ -329,6 +330,49 @@ TEST(RegistryTest, SnapshotJsonWellFormed) {
   EXPECT_NE(json.find("\"test.snapshot.gauge\""), std::string::npos);
   EXPECT_NE(json.find("\"test.snapshot.hist\""), std::string::npos);
   EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(RegistryTest, IndexedNamesSortNumerically) {
+  // The zero-padding contract: registry key order (lexicographic) must
+  // equal numeric index order, or per-shard series would interleave in
+  // snapshot_json and churn every bench diff.
+  using gee::obs::indexed_metric_name;
+  EXPECT_EQ(indexed_metric_name("gee.shard", 7, "queue_depth"),
+            "gee.shard.007.queue_depth");
+  EXPECT_EQ(indexed_metric_name("gee.shard", 7, ""), "gee.shard.007");
+  EXPECT_LT(indexed_metric_name("gee.shard", 2, "shed"),
+            indexed_metric_name("gee.shard", 10, "shed"));
+  std::vector<std::string> names;
+  for (const int i : {0, 1, 2, 9, 10, 11, 99, 100, 255}) {
+    names.push_back(indexed_metric_name("p", i, "x"));
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  // Out-of-range indices clamp rather than widen the field.
+  EXPECT_EQ(indexed_metric_name("p", -3, "x"), "p.000.x");
+  EXPECT_EQ(indexed_metric_name("p", 4321, "x"), "p.999.x");
+}
+
+TEST(RegistryTest, SnapshotKeyOrderIsStableAcrossScrapes) {
+  gee::obs::counter("test.order.b").add(1);
+  gee::obs::counter("test.order.a").add(1);
+  gee::obs::counter("test.order.c").add(1);
+  const std::string first = gee::obs::snapshot_json();
+  // Registration order must not leak into the serialization: a counter
+  // registered between scrapes lands in sorted position, leaving the
+  // relative order of existing keys untouched.
+  gee::obs::counter("test.order.ab").add(1);
+  const std::string second = gee::obs::snapshot_json();
+  const auto pos = [](const std::string& json, const char* key) {
+    const auto p = json.find(key);
+    EXPECT_NE(p, std::string::npos) << key;
+    return p;
+  };
+  for (const std::string& json : {first, second}) {
+    EXPECT_LT(pos(json, "\"test.order.a\""), pos(json, "\"test.order.b\""));
+    EXPECT_LT(pos(json, "\"test.order.b\""), pos(json, "\"test.order.c\""));
+  }
+  EXPECT_LT(pos(second, "\"test.order.a\""), pos(second, "\"test.order.ab\""));
+  EXPECT_LT(pos(second, "\"test.order.ab\""), pos(second, "\"test.order.b\""));
 }
 
 TEST(RegistryTest, ResetAllZeroes) {

@@ -219,6 +219,43 @@ TEST(ParseUpdateStrategy, ChoicesListEveryName) {
   }
 }
 
+TEST(ParseShardCount, RoundTripsEveryLegalValue) {
+  for (const int s : {1, 2, 7, 100, 256}) {
+    const auto parsed = gee::util::parse_shard_count(std::to_string(s));
+    ASSERT_TRUE(parsed.has_value()) << s;
+    EXPECT_EQ(*parsed, s);
+  }
+}
+
+TEST(ParseShardCount, RejectsOutOfRangeAndJunk) {
+  EXPECT_FALSE(gee::util::parse_shard_count("0").has_value());
+  EXPECT_FALSE(gee::util::parse_shard_count("-3").has_value());
+  EXPECT_FALSE(gee::util::parse_shard_count("257").has_value());
+  EXPECT_FALSE(gee::util::parse_shard_count("").has_value());
+  EXPECT_FALSE(gee::util::parse_shard_count("4x").has_value());
+  EXPECT_FALSE(gee::util::parse_shard_count("1e2").has_value());
+  EXPECT_FALSE(gee::util::parse_shard_count("four").has_value());
+  // Caller-supplied bound replaces the default.
+  EXPECT_EQ(gee::util::parse_shard_count("8", 8), 8);
+  EXPECT_FALSE(gee::util::parse_shard_count("9", 8).has_value());
+}
+
+TEST(ParseArrivalRate, RoundTripsFormats) {
+  EXPECT_EQ(gee::util::parse_arrival_rate("1500"), 1500.0);
+  EXPECT_EQ(gee::util::parse_arrival_rate("2.5e3"), 2500.0);
+  EXPECT_EQ(gee::util::parse_arrival_rate("0.25"), 0.25);
+}
+
+TEST(ParseArrivalRate, RejectsNonPositiveAndJunk) {
+  EXPECT_FALSE(gee::util::parse_arrival_rate("0").has_value());
+  EXPECT_FALSE(gee::util::parse_arrival_rate("-5").has_value());
+  EXPECT_FALSE(gee::util::parse_arrival_rate("").has_value());
+  EXPECT_FALSE(gee::util::parse_arrival_rate("fast").has_value());
+  EXPECT_FALSE(gee::util::parse_arrival_rate("10qps").has_value());
+  EXPECT_FALSE(gee::util::parse_arrival_rate("inf").has_value());
+  EXPECT_FALSE(gee::util::parse_arrival_rate("nan").has_value());
+}
+
 // ---------------------------------------------------------------------- env
 
 TEST(Env, StringUnsetAndSet) {
