@@ -22,6 +22,13 @@
 // through ShardSet::apply for the whole measurement, so every number
 // includes reader/writer interference, not a frozen graph.
 //
+// --socket PATH additionally runs the same load-factor sweep across the
+// unix-socket wire boundary (src/net/): a net::Server over an identical
+// tier serves pipelined frames from this process's open-loop driver, and
+// the "socket/load=..." cases land next to the in-process "mixed/load=..."
+// baselines in one BENCH_slo.json -- the boundary's cost is the diff
+// between the two sweeps on the same run.
+//
 // Scaling contract (DESIGN.md section 4): GEE_BENCH_SCALE divides the
 // base graph; --duration bounds each case's measurement window.
 #include "bench/common.hpp"
@@ -35,6 +42,9 @@
 #include <vector>
 
 #include "bench/report.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
 #include "obs/obs.hpp"
 #include "shard/router.hpp"
 #include "shard/shard_set.hpp"
@@ -156,6 +166,131 @@ CaseResult run_case(Router& router, const std::vector<Arrival>& schedule,
   return r;
 }
 
+/// The same open-loop replay, but across the wire: requests go out as
+/// pipelined frames over `conns` unix-socket connections (round-robin,
+/// request_id = schedule index), reply frames come back on one reader
+/// thread per connection, and latency is still scheduled-arrival ->
+/// reply-received -- so the case absorbs encode, syscalls, socket wake-ups
+/// and decode, which is exactly the boundary cost being measured. Sheds
+/// arrive as kShed frames here (the admission verdict crosses the wire)
+/// instead of as submit() tickets.
+CaseResult run_socket_case(const std::string& path, int conns,
+                           const std::vector<Arrival>& schedule,
+                           gee::obs::Histogram& latency) {
+  using Clock = std::chrono::steady_clock;
+  std::vector<gee::net::Fd> fds;
+  fds.reserve(static_cast<std::size_t>(conns));
+  for (int c = 0; c < conns; ++c) {
+    fds.push_back(gee::net::connect_unix(path));
+  }
+
+  std::atomic<std::size_t> completed{0};
+  std::atomic<std::size_t> shed{0};
+  std::atomic<std::size_t> errors{0};
+  const auto t0 = Clock::now();
+
+  // Readers: drain reply frames until their connection is shut down.
+  // request_id indexes `schedule`, which is immutable during the case, so
+  // latency lookup is a plain read.
+  std::vector<std::thread> readers;
+  readers.reserve(fds.size());
+  for (const auto& fd : fds) {
+    readers.emplace_back([&, &fd = fd] {
+      std::uint8_t header_bytes[gee::net::kHeaderBytes];
+      gee::net::Buffer payload;
+      while (gee::net::read_exactly(fd, header_bytes, gee::net::kHeaderBytes)) {
+        gee::net::FrameHeader header;
+        try {
+          header = gee::net::decode_header(
+              {header_bytes, gee::net::kHeaderBytes});
+        } catch (const gee::net::WireError&) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        payload.resize(header.payload_len);
+        if (header.payload_len != 0 &&
+            !gee::net::read_exactly(fd, payload.data(), payload.size())) {
+          return;
+        }
+        switch (header.opcode) {
+          case gee::net::Opcode::kShed:
+            shed.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case gee::net::Opcode::kError:
+            errors.fetch_add(1, std::memory_order_relaxed);
+            break;
+          default: {
+            const std::chrono::duration<double> since = Clock::now() - t0;
+            const auto idx = static_cast<std::size_t>(header.request_id);
+            if (idx < schedule.size()) {
+              latency.record(since.count() - schedule[idx].at_s);
+            }
+            completed.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+        }
+      }
+    });
+  }
+
+  CaseResult r;
+  r.offered = schedule.size();
+  gee::util::Timer timer;
+  std::size_t sent = 0;
+  gee::net::Buffer frame;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const Arrival& a = schedule[i];
+    const auto due = t0 + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(a.at_s));
+    while (Clock::now() < due) {
+      if (due - Clock::now() > std::chrono::microseconds(200)) {
+        std::this_thread::sleep_until(due - std::chrono::microseconds(100));
+      }
+    }
+    frame = gee::net::encode_request(a.request, i);
+    if (!gee::net::write_all(fds[i % fds.size()], frame.data(), frame.size())) {
+      gee::util::log_error("slo bench: socket send failed mid-case");
+      break;
+    }
+    ++sent;
+  }
+
+  // Every sent request gets exactly one reply frame (answer, shed, or
+  // error); wait for the tail, with a stall guard so a wedged server
+  // fails the run loudly instead of hanging it.
+  const auto outstanding = [&] {
+    return sent - (completed.load(std::memory_order_relaxed) +
+                   shed.load(std::memory_order_relaxed) +
+                   errors.load(std::memory_order_relaxed));
+  };
+  auto last_progress = Clock::now();
+  std::size_t last_outstanding = outstanding();
+  while (outstanding() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (const auto now_outstanding = outstanding();
+        now_outstanding != last_outstanding) {
+      last_outstanding = now_outstanding;
+      last_progress = Clock::now();
+    } else if (Clock::now() - last_progress > std::chrono::seconds(30)) {
+      gee::util::log_error("slo bench: " + std::to_string(now_outstanding) +
+                           " replies never arrived");
+      break;
+    }
+  }
+  r.elapsed_s = timer.seconds();
+
+  for (const auto& fd : fds) fd.shutdown_both();
+  for (auto& t : readers) t.join();
+
+  r.completed = completed.load();
+  r.shed = shed.load();
+  if (const auto e = errors.load(); e != 0) {
+    gee::util::log_error("slo bench: " + std::to_string(e) +
+                         " wire-level errors during socket case");
+  }
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -174,6 +309,12 @@ int main(int argc, char** argv) {
   args.add_option("edge-factor", "base-graph edges per vertex", "8");
   args.add_option("write-interval-ms", "writer batch cadence", "10");
   args.add_option("write-batch", "edge updates per writer batch", "256");
+  args.add_option("socket",
+                  "also sweep across a unix-socket boundary at this path "
+                  "(net::Server in front of an identical tier)",
+                  "");
+  args.add_option("socket-conns",
+                  "pipelined client connections for the socket sweep", "2");
   if (!args.parse(argc, argv)) return 1;
 
   const auto shards = gee::util::parse_shard_count(args.get("shards"));
@@ -181,6 +322,16 @@ int main(int argc, char** argv) {
     gee::util::log_error("bench_slo: bad --shards '" + args.get("shards") +
                          "' (want 1..256)");
     return 1;
+  }
+  std::string socket_path;
+  if (!args.get("socket").empty()) {
+    const auto parsed = gee::util::parse_socket_path(args.get("socket"));
+    if (!parsed) {
+      gee::util::log_error("bench_slo: bad --socket '" + args.get("socket") +
+                           "' (non-empty, at most 107 bytes)");
+      return 1;
+    }
+    socket_path = *parsed;
   }
   const double duration = args.get_double("duration");
   const double oos_fraction =
@@ -337,6 +488,114 @@ int main(int argc, char** argv) {
   writer.join();
   report.context("writer_batches",
                  static_cast<std::int64_t>(writer_batches.load()));
+
+  if (!socket_path.empty()) {
+    // The wire sweep serves an IDENTICAL tier (same graph, labels, shard
+    // and lane config) behind a net::Server; the in-process writer is
+    // already stopped, and a replacement streams the same batch cadence
+    // through Server::apply so both sweeps include writer interference.
+    const int conns = static_cast<int>(
+        std::max<std::int64_t>(1, args.get_int("socket-conns")));
+    gee::net::Server::Config server_config;
+    server_config.shards = *shards;
+    server_config.options = options;
+    server_config.router = config;
+    gee::net::Server server(socket_path, gee::net::GraphSource{base, labels},
+                            server_config);
+
+    std::atomic<bool> stop_socket_writer{false};
+    std::atomic<std::uint64_t> socket_writer_batches{0};
+    std::thread socket_writer([&] {
+      gee::util::Xoshiro256 wrng(101);
+      const auto interval = std::chrono::milliseconds(
+          std::max<std::int64_t>(1, args.get_int("write-interval-ms")));
+      const auto ops = static_cast<std::size_t>(
+          std::max<std::int64_t>(1, args.get_int("write-batch")));
+      while (!stop_socket_writer.load(std::memory_order_relaxed)) {
+        gee::stream::UpdateBatch batch;
+        batch.reserve(ops);
+        for (std::size_t i = 0; i < ops; ++i) {
+          batch.add(static_cast<VertexId>(wrng.next_below(n)),
+                    static_cast<VertexId>(wrng.next_below(n)),
+                    static_cast<Weight>(1 + wrng.next_below(4)));
+        }
+        server.apply(batch);
+        socket_writer_batches.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(interval);
+      }
+    });
+
+    // The boundary has its own capacity (encode + syscalls + reader
+    // wake-ups share the cores with the lanes), so calibrate it
+    // separately: offer the in-process capacity open loop and take what
+    // actually completes.
+    auto socket_probe =
+        draw_schedule(capacity, /*duration_s=*/0.2, n, oos_fraction, fanout,
+                      rng);
+    latency.reset();
+    const CaseResult socket_warm =
+        run_socket_case(socket_path, conns, socket_probe, latency);
+    const double socket_capacity =
+        static_cast<double>(socket_warm.completed) /
+        std::max(socket_warm.elapsed_s, 1e-9);
+    gee::util::log_info(
+        "slo bench: calibrated socket capacity " +
+        std::to_string(static_cast<std::int64_t>(socket_capacity)) +
+        " req/s (" + std::to_string(conns) + " connections)");
+    report.context("socket_conns", conns);
+    report.context("socket_capacity_per_sec",
+                   std::to_string(static_cast<std::int64_t>(socket_capacity)));
+
+    std::vector<LoadPoint> socket_points;
+    if (args.has("arrival-rate")) {
+      socket_points.push_back(
+          {"socket/manual-rate",
+           *gee::util::parse_arrival_rate(args.get("arrival-rate"))});
+    } else {
+      for (const double factor : {0.5, 1.0, 2.0}) {
+        char name[64];
+        std::snprintf(name, sizeof name, "socket/load=%.1fx", factor);
+        socket_points.push_back({name, factor * socket_capacity});
+      }
+    }
+
+    for (const LoadPoint& point : socket_points) {
+      const auto schedule =
+          draw_schedule(point.rate, duration, n, oos_fraction, fanout, rng);
+      latency.reset();
+      const CaseResult r =
+          run_socket_case(socket_path, conns, schedule, latency);
+
+      const double offered_rate =
+          static_cast<double>(r.offered) / std::max(duration, 1e-9);
+      const double goodput =
+          static_cast<double>(r.completed) / std::max(r.elapsed_s, 1e-9);
+      const double shed_fraction =
+          r.offered ? static_cast<double>(r.shed) /
+                          static_cast<double>(r.offered)
+                    : 0.0;
+
+      table.begin_row();
+      table.cell(point.name);
+      table.cell(offered_rate, 0);
+      table.cell(goodput, 0);
+      table.cell(shed_fraction * 100.0, 2);
+      table.cell(latency.quantile(0.50) * 1e6, 2);
+      table.cell(latency.quantile(0.99) * 1e6, 2);
+      table.cell(latency.quantile(0.999) * 1e6, 2);
+
+      report.begin_case(point.name);
+      report.metric("offered_per_sec", offered_rate);
+      report.metric("goodput_per_sec", goodput);
+      report.metric("shed_fraction", shed_fraction);
+      report.histogram_metrics("latency", latency);
+    }
+
+    stop_socket_writer.store(true);
+    socket_writer.join();
+    report.context("socket_writer_batches",
+                   static_cast<std::int64_t>(socket_writer_batches.load()));
+  }
 
   bench::emit(table, "slo.csv");
   report.write();

@@ -1,0 +1,219 @@
+// serve_client -- the out-of-process serving boundary end to end, in two
+// roles selected by --serve:
+//
+//   server:  build a random graph, put a net::Server in front of it, and
+//            serve --serve-seconds of wall clock; --reloads N swaps the
+//            tier N times while serving (spread across the window), so a
+//            watching client sees graceful reload from the outside.
+//   client:  connect to --socket (retrying while the server boots), push
+//            --requests of mixed traffic -- lookups, out-of-sample
+//            queries, batches, cross-shard top-k -- and print the
+//            outcome tally. Exits nonzero if NOTHING was answered, which
+//            makes the two-process round trip scriptable:
+//
+//   ./examples/serve_client --socket /tmp/gee.sock --serve \
+//                           --serve-seconds 5 --reloads 2 &
+//   ./examples/serve_client --socket /tmp/gee.sock --requests 500
+//
+// The same binary in both roles keeps the demo honest: the client half
+// has no in-process shortcut to the engine -- every answer it prints
+// crossed the unix socket.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/labels.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using gee::graph::EdgeId;
+using gee::graph::VertexId;
+using gee::graph::Weight;
+
+gee::net::GraphSource random_source(VertexId n, EdgeId m, int classes,
+                                    std::uint64_t seed) {
+  return {gee::gen::erdos_renyi_gnm(n, m, seed),
+          gee::gen::semi_supervised_labels(n, classes, 0.10, seed + 1)};
+}
+
+int run_server(const std::string& socket, VertexId n, EdgeId m, int classes,
+               int shards, double serve_seconds, int reloads,
+               std::uint64_t seed) {
+  gee::net::Server::Config config;
+  config.shards = shards;
+  config.options.num_threads = 1;  // parallelism = concurrent requests
+  gee::net::Server server(socket, random_source(n, m, classes, seed), config);
+  std::printf("serving n=%u edges=%llu classes=%d shards=%d for %.1fs\n", n,
+              static_cast<unsigned long long>(m), classes, shards,
+              serve_seconds);
+  // Reloads are spread across the serving window; each one builds a fresh
+  // graph at a new seed, so a long-lived client visibly changes answers.
+  const auto slice =
+      std::chrono::duration<double>(serve_seconds / (reloads + 1));
+  for (int r = 0; r < reloads; ++r) {
+    std::this_thread::sleep_for(slice);
+    server.reload(random_source(n, m, classes, seed + 100 * (r + 1)));
+  }
+  std::this_thread::sleep_for(slice);
+  std::printf("served %llu reloads, shutting down\n",
+              static_cast<unsigned long long>(server.reloads()));
+  return 0;
+}
+
+int run_client(const std::string& socket, int requests, int connect_retries,
+               VertexId n, int classes, std::uint64_t seed) {
+  // The server may still be building its tier; retry the connect.
+  std::unique_ptr<gee::net::Client> client;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      client = std::make_unique<gee::net::Client>(socket);
+      break;
+    } catch (const std::exception& e) {
+      if (attempt >= connect_retries) {
+        gee::util::log_error(std::string("cannot connect: ") + e.what());
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+
+  gee::util::Xoshiro256 rng(seed);
+  std::uint64_t ok = 0, shed = 0, errors = 0;
+  double retry_hint_s = 0;
+  for (int i = 0; i < requests; ++i) {
+    gee::net::Client::Result result;
+    try {
+      switch (rng.next_below(5)) {
+        case 0:
+          result = client->lookup(static_cast<VertexId>(rng.next_below(n)));
+          break;
+        case 1: {
+          gee::serve::VertexQuery q;
+          for (int j = 0; j < 6; ++j) {
+            q.neighbors.emplace_back(
+                static_cast<VertexId>(rng.next_below(n)),
+                static_cast<Weight>(1 + rng.next_below(3)));
+          }
+          result = client->query(q);
+          break;
+        }
+        case 2:
+          result = client->lookup_batch(
+              {static_cast<VertexId>(rng.next_below(n)),
+               static_cast<VertexId>(rng.next_below(n)),
+               static_cast<VertexId>(rng.next_below(n))});
+          break;
+        case 3: {
+          std::vector<gee::serve::VertexQuery> qs(2);
+          for (auto& q : qs) {
+            for (int j = 0; j < 4; ++j) {
+              q.neighbors.emplace_back(
+                  static_cast<VertexId>(rng.next_below(n)),
+                  static_cast<Weight>(1.0f));
+            }
+          }
+          result = client->query_batch(std::move(qs));
+          break;
+        }
+        default:
+          result = client->top_k_vertices(
+              static_cast<std::int32_t>(
+                  rng.next_below(static_cast<std::uint64_t>(classes))),
+              5);
+          break;
+      }
+    } catch (const std::exception& e) {
+      gee::util::log_error(std::string("connection lost: ") + e.what());
+      break;
+    }
+    switch (result.status) {
+      case gee::net::Client::Result::Status::kOk:
+        ++ok;
+        break;
+      case gee::net::Client::Result::Status::kShed:
+        ++shed;
+        retry_hint_s = result.retry_after_s;
+        break;
+      case gee::net::Client::Result::Status::kError:
+        ++errors;
+        break;
+    }
+  }
+
+  gee::util::TextTable table("wire round trip -- " + std::to_string(requests) +
+                             " mixed requests over " + socket);
+  table.set_header({"outcome", "count"});
+  auto row = [&](const char* name, std::uint64_t value) {
+    table.begin_row();
+    table.cell(name);
+    table.cell(static_cast<long long>(value));
+  };
+  row("answered", ok);
+  row("shed (retry-after hinted)", shed);
+  row("errored", errors);
+  std::fputs(table.to_text().c_str(), stdout);
+  if (shed > 0) {
+    std::printf("last retry-after hint: %.0f us\n", retry_hint_s * 1e6);
+  }
+  // A run where nothing was answered is a failed round trip, whatever the
+  // mix of shed/error/disconnect it decomposes into.
+  return ok > 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gee::util::ArgParser args("serve_client",
+                            "out-of-process serving demo: server and client "
+                            "halves of the unix-socket wire protocol");
+  args.add_option("socket", "unix socket path (both roles)",
+                  "/tmp/gee-serve.sock");
+  args.add_flag("serve", "run the server role instead of the client");
+  args.add_option("vertices", "vertex count (server; client uses it to draw "
+                              "valid request ids)",
+                  "2000");
+  args.add_option("base-edges", "edge count of each served graph", "12000");
+  args.add_option("classes", "number of classes K", "5");
+  args.add_option("shards", "shard count behind the listener", "2");
+  args.add_option("serve-seconds", "how long the server role serves", "5");
+  args.add_option("reloads", "tier swaps during the serving window", "0");
+  args.add_option("requests", "requests the client role sends", "200");
+  args.add_option("connect-retries",
+                  "client connect attempts, 100ms apart", "50");
+  args.add_option("seed", "random seed", "1");
+  if (!args.parse(argc, argv)) return 1;
+
+  const auto socket = gee::util::parse_socket_path(args.get("socket"));
+  if (!socket) {
+    gee::util::log_error("bad --socket '" + args.get("socket") +
+                         "' (non-empty, at most 107 bytes)");
+    return 1;
+  }
+  const auto n = static_cast<VertexId>(args.get_int("vertices"));
+  const int classes = static_cast<int>(args.get_int("classes"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  if (args.get_flag("serve")) {
+    const auto shards = gee::util::parse_shard_count(args.get("shards"));
+    if (!shards) {
+      gee::util::log_error("bad --shards '" + args.get("shards") +
+                           "' (want 1..256)");
+      return 1;
+    }
+    return run_server(*socket, n,
+                      static_cast<EdgeId>(args.get_int("base-edges")), classes,
+                      *shards, args.get_double("serve-seconds"),
+                      static_cast<int>(args.get_int("reloads")), seed);
+  }
+  return run_client(*socket, static_cast<int>(args.get_int("requests")),
+                    static_cast<int>(args.get_int("connect-retries")), n,
+                    classes, seed);
+}

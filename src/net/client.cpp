@@ -1,0 +1,95 @@
+#include "net/client.hpp"
+
+#include <utility>
+
+namespace gee::net {
+
+Client::Client(const std::string& socket_path, double recv_timeout_s)
+    : fd_(connect_unix(socket_path)) {
+  if (recv_timeout_s > 0) set_recv_timeout(fd_, recv_timeout_s);
+}
+
+Client::Result Client::round_trip(shard::Router::Request req) {
+  const std::uint64_t id = next_request_id_++;
+  const Buffer frame = encode_request(req, id);
+  if (!write_all(fd_, frame.data(), frame.size())) {
+    throw std::runtime_error("net::Client: connection lost while sending");
+  }
+  std::uint8_t header_bytes[kHeaderBytes];
+  if (!read_exactly(fd_, header_bytes, kHeaderBytes)) {
+    throw std::runtime_error("net::Client: connection lost awaiting reply");
+  }
+  const FrameHeader header = decode_header({header_bytes, kHeaderBytes});
+  Buffer payload(header.payload_len);
+  if (header.payload_len != 0 &&
+      !read_exactly(fd_, payload.data(), payload.size())) {
+    throw std::runtime_error("net::Client: connection lost mid-reply");
+  }
+  // Single-outstanding means the reply must be ours; anything else is a
+  // protocol violation, not a request outcome.
+  if (header.request_id != id) {
+    throw std::runtime_error("net::Client: reply for unknown request id");
+  }
+  const DecodedReply decoded = decode_reply(header, payload);
+  Result result;
+  switch (decoded.opcode) {
+    case Opcode::kReply:
+      result.reply = decoded.reply;
+      break;
+    case Opcode::kReplyBatch:
+      result.replies = decoded.replies;
+      break;
+    case Opcode::kRanked:
+      result.ranked = decoded.ranked;
+      break;
+    case Opcode::kShed:
+      result.status = Result::Status::kShed;
+      result.retry_after_s = decoded.retry_after_s;
+      break;
+    case Opcode::kError:
+      result.status = Result::Status::kError;
+      result.error = decoded.error;
+      break;
+    default:
+      throw std::runtime_error("net::Client: unexpected reply opcode");
+  }
+  return result;
+}
+
+Client::Result Client::lookup(graph::VertexId v) {
+  shard::Router::Request req;
+  req.kind = shard::Router::Request::Kind::kLookup;
+  req.vertex = v;
+  return round_trip(std::move(req));
+}
+
+Client::Result Client::query(const serve::VertexQuery& q) {
+  shard::Router::Request req;
+  req.kind = shard::Router::Request::Kind::kQuery;
+  req.query = q;
+  return round_trip(std::move(req));
+}
+
+Client::Result Client::lookup_batch(std::vector<graph::VertexId> vertices) {
+  shard::Router::Request req;
+  req.kind = shard::Router::Request::Kind::kLookupBatch;
+  req.vertices = std::move(vertices);
+  return round_trip(std::move(req));
+}
+
+Client::Result Client::query_batch(std::vector<serve::VertexQuery> queries) {
+  shard::Router::Request req;
+  req.kind = shard::Router::Request::Kind::kQueryBatch;
+  req.queries = std::move(queries);
+  return round_trip(std::move(req));
+}
+
+Client::Result Client::top_k_vertices(std::int32_t cls, int k) {
+  shard::Router::Request req;
+  req.kind = shard::Router::Request::Kind::kTopKVertices;
+  req.cls = cls;
+  req.k = k;
+  return round_trip(std::move(req));
+}
+
+}  // namespace gee::net

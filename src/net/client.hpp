@@ -1,0 +1,57 @@
+// net::Client: a blocking, single-outstanding-request client for the
+// wire protocol -- the reference peer for tests and the serve_client
+// example. One method call = one request frame + one reply frame; the
+// Result says which of the three wire outcomes came back (answered,
+// shed-with-retry, request-level error). Connection loss and protocol
+// violations throw std::runtime_error -- those are not outcomes of a
+// request, they are the end of the conversation.
+//
+// The pipelined, many-outstanding driver lives in bench_slo's socket
+// mode; this class stays deliberately simple so conformance tests read
+// as straight-line code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "serve/request.hpp"
+#include "shard/router.hpp"
+
+namespace gee::net {
+
+class Client {
+ public:
+  /// Outcome of one request. `status` selects which payload field holds
+  /// the answer (mirrors the reply opcodes).
+  struct Result {
+    enum class Status : std::uint8_t { kOk, kShed, kError };
+    Status status = Status::kOk;
+    serve::QueryReply reply;                 ///< lookup / query
+    std::vector<serve::QueryReply> replies;  ///< lookup_batch / query_batch
+    std::vector<serve::VertexScore> ranked;  ///< top_k_vertices
+    double retry_after_s = 0;                ///< kShed
+    std::string error;                       ///< kError
+    [[nodiscard]] bool ok() const noexcept { return status == Status::kOk; }
+  };
+
+  /// Connect to a listening server; throws std::system_error if nobody is
+  /// there. `recv_timeout_s` bounds every reply wait (0 = forever).
+  explicit Client(const std::string& socket_path, double recv_timeout_s = 30.0);
+
+  [[nodiscard]] Result lookup(graph::VertexId v);
+  [[nodiscard]] Result query(const serve::VertexQuery& q);
+  [[nodiscard]] Result lookup_batch(std::vector<graph::VertexId> vertices);
+  [[nodiscard]] Result query_batch(std::vector<serve::VertexQuery> queries);
+  [[nodiscard]] Result top_k_vertices(std::int32_t cls, int k);
+
+ private:
+  [[nodiscard]] Result round_trip(shard::Router::Request req);
+
+  Fd fd_;
+  std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace gee::net

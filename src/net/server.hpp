@@ -1,0 +1,149 @@
+// net::Server: the out-of-process serving boundary (ROADMAP item 2, the
+// process half). A unix-domain listener in front of shard::Router -- a
+// second process speaks the wire protocol (net/wire.hpp) and gets the
+// sharded tier's answers, admission control included.
+//
+// Concurrency model: one listener thread accepts; each connection gets a
+// dedicated reader thread that decodes frames, validates the request
+// against the live tier's bounds (so nothing submitted to a lane can
+// throw on a lane worker), and forwards it into the Router's admission
+// plane. Replies are written FROM THE LANE WORKER's completion callback,
+// serialized per connection by a write mutex -- so a connection can
+// pipeline requests and admission control stays visible across the wire:
+// an at-budget lane sheds immediately with a kShed frame carrying the
+// retry-after hint, instead of the kernel socket buffer silently turning
+// overload into invisible queueing. Replies therefore may arrive out of
+// request order; clients match on request_id.
+//
+// Graceful drain/reload (DESIGN.md section 12): reload(GraphSource)
+// rebuilds the whole tier -- ShardSet + Router -- behind the live
+// listener:
+//
+//   1. build the fresh tier (the old one keeps serving; this is the
+//      expensive part),
+//   2. close() the old router's lanes: racing submissions shed with a
+//      retry-after hint (the wire answer stays well-formed),
+//   3. drain() the old router -- bounded, because the lanes are closed:
+//      every in-flight request completes and its reply is written,
+//   4. publish the fresh tier; new requests admit against it.
+//
+// No connection is dropped at any step; during the swap window clients
+// see only shed-with-retry. A tier is only ever released after its
+// close()+drain(), so no queued lane task outlives its router. Writer
+// traffic (apply()) and reload() serialize on one mutex, preserving the
+// ShardSet single-writer contract across swaps.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "shard/router.hpp"
+#include "shard/shard_set.hpp"
+#include "stream/update_batch.hpp"
+
+namespace gee::net {
+
+/// What a serving tier is built from -- and what reload() swaps in.
+struct GraphSource {
+  graph::EdgeList edges;
+  std::vector<std::int32_t> labels;
+};
+
+class Server {
+ public:
+  struct Config {
+    int shards = 2;
+    shard::ShardMode mode = shard::ShardMode::kOwned;
+    core::Options options;         ///< forwarded to every shard engine
+    shard::Router::Config router;  ///< per-shard lane budget/workers
+    int listen_backlog = 64;
+  };
+
+  /// Build the tier from `source` and start listening on `socket_path`
+  /// (any stale socket file is replaced). Throws std::system_error when
+  /// the socket cannot be bound.
+  Server(std::string socket_path, GraphSource source, Config config);
+  Server(std::string socket_path, GraphSource source)
+      : Server(std::move(socket_path), std::move(source), Config{}) {}
+  ~Server();  // stop()s and removes the socket file
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Swap the serving tier for one built from `source`, behind the live
+  /// listener: in-flight requests complete, racing ones shed with retry,
+  /// connections survive. Blocking (tier construction happens on the
+  /// caller's thread); concurrent reload/apply calls serialize.
+  void reload(GraphSource source);
+
+  /// Stream updates into the live tier (ShardSet::apply, routed per
+  /// shard). Serialized with reload() -- the single-writer contract spans
+  /// tier swaps.
+  shard::ShardSet::ApplyReport apply(const stream::UpdateBatch& batch);
+
+  /// Stop accepting, unblock every connection, flush in-flight replies,
+  /// and join all threads. Idempotent; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] const std::string& socket_path() const noexcept {
+    return path_;
+  }
+  [[nodiscard]] std::uint64_t reloads() const noexcept {
+    return reloads_.load(std::memory_order_relaxed);
+  }
+  /// Connections currently being served (listener registry size minus
+  /// finished ones is an upper bound; exact while none are mid-teardown).
+  [[nodiscard]] std::size_t open_connections() const;
+
+ private:
+  /// One accepted connection: the fd plus the write-side serialization.
+  /// Held by shared_ptr from the reader thread and every pending reply
+  /// callback, so the fd outlives all writers to it.
+  struct Connection {
+    explicit Connection(Fd socket) : fd(std::move(socket)) {}
+    Fd fd;
+    std::mutex write_mutex;
+  };
+
+  /// One immutable generation of the serving tier. Router borrows the
+  /// ShardSet, so member order (set before router) is load-bearing.
+  struct Tier {
+    Tier(const GraphSource& source, const Config& config)
+        : set(source.edges, source.labels, config.shards, config.mode,
+              config.options),
+          router(set, config.router) {}
+    shard::ShardSet set;
+    shard::Router router;
+  };
+
+  void accept_loop();
+  void serve_connection(const std::shared_ptr<Connection>& conn);
+  /// Everything Router::submit/answer could throw on for `req`, checked
+  /// at the door instead: returns an error message, or empty for valid.
+  [[nodiscard]] static std::string validate(const shard::Router::Request& req,
+                                            const Tier& tier);
+  static bool send_frame(const std::shared_ptr<Connection>& conn,
+                         const Buffer& frame);
+
+  std::string path_;
+  Config config_;
+  std::shared_ptr<Tier> tier_;          ///< guarded by tier_mutex_
+  mutable std::mutex tier_mutex_;       ///< tier_ pointer loads/stores
+  std::mutex writer_mutex_;             ///< serializes reload() and apply()
+  Fd listener_;
+  std::thread accept_thread_;
+  mutable std::mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> readers_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> reloads_{0};
+};
+
+}  // namespace gee::net

@@ -1,0 +1,411 @@
+#include "net/wire.hpp"
+
+#include <bit>
+
+namespace gee::net {
+
+std::string to_string(Opcode op) {
+  switch (op) {
+    case Opcode::kLookup:
+      return "lookup";
+    case Opcode::kQuery:
+      return "query";
+    case Opcode::kLookupBatch:
+      return "lookup_batch";
+    case Opcode::kQueryBatch:
+      return "query_batch";
+    case Opcode::kTopKVertices:
+      return "top_k_vertices";
+    case Opcode::kReply:
+      return "reply";
+    case Opcode::kReplyBatch:
+      return "reply_batch";
+    case Opcode::kRanked:
+      return "ranked";
+    case Opcode::kShed:
+      return "shed";
+    case Opcode::kError:
+      return "error";
+  }
+  return "opcode(" + std::to_string(static_cast<int>(op)) + ")";
+}
+
+// ------------------------------------------------ primitive LE encoding
+
+void put_u8(Buffer& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u16(Buffer& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(Buffer& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void put_u64(Buffer& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void put_i32(Buffer& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_f32(Buffer& out, float v) {
+  put_u32(out, std::bit_cast<std::uint32_t>(v));
+}
+
+void put_f64(Buffer& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+// ----------------------------------------------------------- ByteReader
+
+void ByteReader::require(std::size_t n) const {
+  if (remaining() < n) {
+    throw WireError("payload truncated: need " + std::to_string(n) +
+                    " bytes, have " + std::to_string(remaining()));
+  }
+}
+
+std::uint8_t ByteReader::take_u8() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::take_u16() {
+  require(2);
+  std::uint16_t v = 0;
+  for (int shift = 0; shift < 16; shift += 8) {
+    v = static_cast<std::uint16_t>(
+        v | static_cast<std::uint16_t>(data_[pos_++]) << shift);
+  }
+  return v;
+}
+
+std::uint32_t ByteReader::take_u32() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    v |= static_cast<std::uint32_t>(data_[pos_++]) << shift;
+  }
+  return v;
+}
+
+std::uint64_t ByteReader::take_u64() {
+  require(8);
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    v |= static_cast<std::uint64_t>(data_[pos_++]) << shift;
+  }
+  return v;
+}
+
+std::int32_t ByteReader::take_i32() {
+  return static_cast<std::int32_t>(take_u32());
+}
+
+float ByteReader::take_f32() { return std::bit_cast<float>(take_u32()); }
+
+double ByteReader::take_f64() { return std::bit_cast<double>(take_u64()); }
+
+std::size_t ByteReader::take_count(std::size_t min_element_bytes) {
+  const std::uint32_t count = take_u32();
+  // Reject before the caller reserves: a hostile count must be backed by
+  // at least count x min_element_bytes of actual payload.
+  if (min_element_bytes != 0 &&
+      static_cast<std::uint64_t>(count) * min_element_bytes > remaining()) {
+    throw WireError("element count " + std::to_string(count) +
+                    " exceeds remaining payload");
+  }
+  return count;
+}
+
+void ByteReader::finish() const {
+  if (remaining() != 0) {
+    throw WireError("payload has " + std::to_string(remaining()) +
+                    " trailing bytes");
+  }
+}
+
+// ------------------------------------------------------------- framing
+
+void append_frame(Buffer& out, Opcode op, std::uint64_t request_id,
+                  std::span<const std::uint8_t> payload) {
+  put_u32(out, kMagic);
+  put_u8(out, kVersion);
+  put_u8(out, static_cast<std::uint8_t>(op));
+  put_u16(out, 0);  // reserved
+  put_u64(out, request_id);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+FrameHeader decode_header(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != kHeaderBytes) {
+    throw WireError("header must be exactly " + std::to_string(kHeaderBytes) +
+                    " bytes");
+  }
+  ByteReader r(bytes);
+  if (r.take_u32() != kMagic) throw WireError("bad magic");
+  FrameHeader h;
+  h.version = r.take_u8();
+  if (h.version != kVersion) {
+    throw WireError("unsupported version " + std::to_string(h.version));
+  }
+  h.opcode = static_cast<Opcode>(r.take_u8());
+  (void)r.take_u16();  // reserved: ignored on receive
+  h.request_id = r.take_u64();
+  h.payload_len = r.take_u32();
+  if (h.payload_len > kMaxPayloadBytes) {
+    throw WireError("payload length " + std::to_string(h.payload_len) +
+                    " exceeds frame cap");
+  }
+  return h;
+}
+
+// ------------------------------------------------------ payload codecs
+
+void encode_vertex_query(Buffer& out, const serve::VertexQuery& q) {
+  put_u32(out, static_cast<std::uint32_t>(q.neighbors.size()));
+  for (const auto& [endpoint, weight] : q.neighbors) {
+    put_u32(out, endpoint);
+    put_f32(out, weight);
+  }
+}
+
+serve::VertexQuery decode_vertex_query(ByteReader& r) {
+  const std::size_t n = r.take_count(8);  // u32 endpoint + f32 weight
+  serve::VertexQuery q;
+  q.neighbors.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto endpoint = r.take_u32();
+    const auto weight = r.take_f32();
+    q.neighbors.emplace_back(endpoint, weight);
+  }
+  return q;
+}
+
+void encode_query_reply(Buffer& out, const serve::QueryReply& reply) {
+  put_u32(out, static_cast<std::uint32_t>(reply.row.size()));
+  for (const auto value : reply.row) put_f64(out, value);
+  put_i32(out, reply.predicted);
+  put_u64(out, reply.epoch);
+  put_u64(out, reply.staleness);
+}
+
+serve::QueryReply decode_query_reply(ByteReader& r) {
+  const std::size_t k = r.take_count(8);  // f64 per row entry
+  serve::QueryReply reply;
+  reply.row.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) reply.row.push_back(r.take_f64());
+  reply.predicted = r.take_i32();
+  reply.epoch = r.take_u64();
+  reply.staleness = r.take_u64();
+  return reply;
+}
+
+// ------------------------------------- request/response frame helpers
+
+namespace {
+
+Opcode request_opcode(shard::Router::Request::Kind kind) {
+  using Kind = shard::Router::Request::Kind;
+  switch (kind) {
+    case Kind::kLookup:
+      return Opcode::kLookup;
+    case Kind::kQuery:
+      return Opcode::kQuery;
+    case Kind::kTopKVertices:
+      return Opcode::kTopKVertices;
+    case Kind::kLookupBatch:
+      return Opcode::kLookupBatch;
+    case Kind::kQueryBatch:
+      return Opcode::kQueryBatch;
+  }
+  throw WireError("unencodable request kind");
+}
+
+}  // namespace
+
+Buffer encode_request(const shard::Router::Request& req,
+                      std::uint64_t request_id) {
+  using Kind = shard::Router::Request::Kind;
+  Buffer payload;
+  switch (req.kind) {
+    case Kind::kLookup:
+      put_u32(payload, req.vertex);
+      break;
+    case Kind::kQuery:
+      encode_vertex_query(payload, req.query);
+      break;
+    case Kind::kTopKVertices:
+      put_i32(payload, req.cls);
+      put_i32(payload, req.k);
+      break;
+    case Kind::kLookupBatch:
+      put_u32(payload, static_cast<std::uint32_t>(req.vertices.size()));
+      for (const auto v : req.vertices) put_u32(payload, v);
+      break;
+    case Kind::kQueryBatch:
+      put_u32(payload, static_cast<std::uint32_t>(req.queries.size()));
+      for (const auto& q : req.queries) encode_vertex_query(payload, q);
+      break;
+  }
+  Buffer frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  append_frame(frame, request_opcode(req.kind), request_id, payload);
+  return frame;
+}
+
+shard::Router::Request decode_request(Opcode op,
+                                      std::span<const std::uint8_t> payload) {
+  using Kind = shard::Router::Request::Kind;
+  shard::Router::Request req;
+  ByteReader r(payload);
+  switch (op) {
+    case Opcode::kLookup:
+      req.kind = Kind::kLookup;
+      req.vertex = r.take_u32();
+      break;
+    case Opcode::kQuery:
+      req.kind = Kind::kQuery;
+      req.query = decode_vertex_query(r);
+      break;
+    case Opcode::kTopKVertices:
+      req.kind = Kind::kTopKVertices;
+      req.cls = r.take_i32();
+      req.k = r.take_i32();
+      break;
+    case Opcode::kLookupBatch: {
+      req.kind = Kind::kLookupBatch;
+      const std::size_t n = r.take_count(4);
+      req.vertices.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) req.vertices.push_back(r.take_u32());
+      break;
+    }
+    case Opcode::kQueryBatch: {
+      req.kind = Kind::kQueryBatch;
+      const std::size_t n = r.take_count(4);  // >= one empty VertexQuery
+      req.queries.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        req.queries.push_back(decode_vertex_query(r));
+      }
+      break;
+    }
+    default:
+      throw WireError("unknown request opcode " +
+                      std::to_string(static_cast<int>(op)));
+  }
+  r.finish();
+  return req;
+}
+
+Buffer encode_response(const shard::Router::Response& resp,
+                       std::uint64_t request_id) {
+  using Kind = shard::Router::Request::Kind;
+  Buffer payload;
+  Opcode op;
+  switch (resp.kind) {
+    case Kind::kLookup:
+    case Kind::kQuery:
+      op = Opcode::kReply;
+      encode_query_reply(payload, resp.reply);
+      break;
+    case Kind::kLookupBatch:
+    case Kind::kQueryBatch:
+      op = Opcode::kReplyBatch;
+      put_u32(payload, static_cast<std::uint32_t>(resp.replies.size()));
+      for (const auto& reply : resp.replies) {
+        encode_query_reply(payload, reply);
+      }
+      break;
+    case Kind::kTopKVertices:
+      op = Opcode::kRanked;
+      put_u32(payload, static_cast<std::uint32_t>(resp.ranked.size()));
+      for (const auto& [vertex, score] : resp.ranked) {
+        put_u32(payload, vertex);
+        put_f64(payload, score);
+      }
+      break;
+    default:
+      throw WireError("unencodable response kind");
+  }
+  Buffer frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  append_frame(frame, op, request_id, payload);
+  return frame;
+}
+
+Buffer encode_shed(double retry_after_s, std::uint64_t request_id) {
+  Buffer payload;
+  put_f64(payload, retry_after_s);
+  Buffer frame;
+  append_frame(frame, Opcode::kShed, request_id, payload);
+  return frame;
+}
+
+Buffer encode_error(const std::string& message, std::uint64_t request_id) {
+  Buffer payload;
+  put_u32(payload, static_cast<std::uint32_t>(message.size()));
+  payload.insert(payload.end(), message.begin(), message.end());
+  Buffer frame;
+  append_frame(frame, Opcode::kError, request_id, payload);
+  return frame;
+}
+
+DecodedReply decode_reply(const FrameHeader& header,
+                          std::span<const std::uint8_t> payload) {
+  DecodedReply out;
+  out.opcode = header.opcode;
+  out.request_id = header.request_id;
+  ByteReader r(payload);
+  switch (header.opcode) {
+    case Opcode::kReply:
+      out.reply = decode_query_reply(r);
+      break;
+    case Opcode::kReplyBatch: {
+      // An empty QueryReply is 24 bytes: row count + predicted + epoch +
+      // staleness.
+      const std::size_t n = r.take_count(24);
+      out.replies.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        out.replies.push_back(decode_query_reply(r));
+      }
+      break;
+    }
+    case Opcode::kRanked: {
+      const std::size_t n = r.take_count(12);  // u32 vertex + f64 score
+      out.ranked.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        serve::VertexScore s;
+        s.vertex = r.take_u32();
+        s.score = r.take_f64();
+        out.ranked.push_back(s);
+      }
+      break;
+    }
+    case Opcode::kShed:
+      out.retry_after_s = r.take_f64();
+      break;
+    case Opcode::kError: {
+      const std::size_t n = r.take_count(1);
+      out.error.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        out.error.push_back(static_cast<char>(r.take_u8()));
+      }
+      break;
+    }
+    default:
+      throw WireError("unknown reply opcode " +
+                      std::to_string(static_cast<int>(header.opcode)));
+  }
+  r.finish();
+  return out;
+}
+
+}  // namespace gee::net

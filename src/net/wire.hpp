@@ -1,0 +1,203 @@
+// Wire protocol of the out-of-process serving boundary (src/net/).
+//
+// A versioned, length-prefixed binary framing over a byte stream. Every
+// frame is a fixed 20-byte header followed by an opcode-specific payload:
+//
+//   offset  size  field        encoding
+//        0     4  magic        0x31454547 ("GEE1" as bytes, little-endian)
+//        4     1  version      kVersion (= 1)
+//        5     1  opcode       Opcode value
+//        6     2  reserved     must be 0 on send, ignored on receive
+//        8     8  request_id   echoed verbatim in the reply
+//       16     4  payload_len  bytes following the header, <= kMaxPayload
+//
+// All multi-byte integers are LITTLE-ENDIAN, encoded and decoded with
+// explicit byte shifts (never memcpy-of-struct), so the format is
+// identical on any host. Floating-point values travel as the IEEE-754 bit
+// pattern of their in-memory type (f32 for graph::Weight, f64 for
+// core::Real), LE like everything else -- replies decoded on the client
+// are bit-for-bit the rows the server's engine produced, which is what
+// lets the round-trip conformance test assert bitwise equality.
+//
+// Opcode table (requests forward into shard::Router's admission plane;
+// every request gets exactly one reply frame, but replies to PIPELINED
+// requests may arrive in any order -- match on request_id):
+//
+//   request        payload                          reply
+//   kLookup        u32 vertex                       kReply
+//   kQuery         VertexQuery                      kReply
+//   kLookupBatch   u32 n, n x u32 vertex            kReplyBatch
+//   kQueryBatch    u32 n, n x VertexQuery           kReplyBatch
+//   kTopKVertices  i32 cls, i32 k                   kRanked
+//
+//   reply          payload
+//   kReply         QueryReply
+//   kReplyBatch    u32 n, n x QueryReply
+//   kRanked        u32 n, n x (u32 vertex, f64 score)
+//   kShed          f64 retry_after_s   (admission control said not now)
+//   kError         u32 len, len x u8 utf-8 message (request-level failure)
+//
+// Compound encodings:
+//   VertexQuery = u32 n, n x (u32 endpoint, f32 weight)
+//   QueryReply  = u32 k, k x f64 row, i32 predicted, u64 epoch,
+//                 u64 staleness
+//
+// Decoding is defensive: ByteReader bounds-checks every primitive,
+// element counts are validated against the bytes actually present before
+// any allocation (a hostile count cannot force a huge reserve), trailing
+// payload bytes are an error, and decode_header rejects bad magic, wrong
+// version, and payload_len beyond kMaxPayloadBytes -- all via WireError,
+// which the server answers with kError and a closed connection.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+#include "shard/router.hpp"
+
+namespace gee::net {
+
+/// Malformed frame or payload. Thrown by every decode path; the message
+/// names the violated rule (it goes back to the peer in a kError frame).
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr std::uint32_t kMagic = 0x31454547u;  // "GEE1"
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 20;
+/// Frame cap: a batch of ~500k out-of-sample queries or ~2M-row reply
+/// batches fit; anything larger is a protocol violation, not a workload.
+inline constexpr std::uint32_t kMaxPayloadBytes = 16u << 20;
+
+enum class Opcode : std::uint8_t {
+  // requests
+  kLookup = 1,
+  kQuery = 2,
+  kLookupBatch = 3,
+  kQueryBatch = 4,
+  kTopKVertices = 5,
+  // replies
+  kReply = 16,
+  kReplyBatch = 17,
+  kRanked = 18,
+  kShed = 19,
+  kError = 20,
+};
+
+[[nodiscard]] std::string to_string(Opcode op);
+
+using Buffer = std::vector<std::uint8_t>;
+
+struct FrameHeader {
+  std::uint8_t version = kVersion;
+  Opcode opcode{};
+  std::uint64_t request_id = 0;
+  std::uint32_t payload_len = 0;
+};
+
+// ------------------------------------------------ primitive LE encoding
+
+void put_u8(Buffer& out, std::uint8_t v);
+void put_u16(Buffer& out, std::uint16_t v);
+void put_u32(Buffer& out, std::uint32_t v);
+void put_u64(Buffer& out, std::uint64_t v);
+void put_i32(Buffer& out, std::int32_t v);
+void put_f32(Buffer& out, float v);
+void put_f64(Buffer& out, double v);
+
+/// Bounds-checked little-endian reader over one payload. Every take_*
+/// throws WireError on overrun; finish() throws if bytes remain (a
+/// well-formed payload is consumed exactly).
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t take_u8();
+  [[nodiscard]] std::uint16_t take_u16();
+  [[nodiscard]] std::uint32_t take_u32();
+  [[nodiscard]] std::uint64_t take_u64();
+  [[nodiscard]] std::int32_t take_i32();
+  [[nodiscard]] float take_f32();
+  [[nodiscard]] double take_f64();
+
+  /// Element count for a sequence whose elements occupy at least
+  /// `min_element_bytes`: rejects counts the remaining bytes cannot hold,
+  /// BEFORE the caller allocates.
+  [[nodiscard]] std::size_t take_count(std::size_t min_element_bytes);
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  void finish() const;
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------- framing
+
+/// Append a complete frame (header + payload) to `out`.
+void append_frame(Buffer& out, Opcode op, std::uint64_t request_id,
+                  std::span<const std::uint8_t> payload);
+
+/// Decode and validate one header from exactly kHeaderBytes bytes.
+/// Throws WireError on bad magic, unsupported version, or payload_len
+/// beyond kMaxPayloadBytes. Unknown opcodes pass through (the dispatch
+/// layer rejects them with the request id echoed).
+[[nodiscard]] FrameHeader decode_header(std::span<const std::uint8_t> bytes);
+
+// ------------------------------------------------------ payload codecs
+
+void encode_vertex_query(Buffer& out, const serve::VertexQuery& q);
+[[nodiscard]] serve::VertexQuery decode_vertex_query(ByteReader& r);
+
+void encode_query_reply(Buffer& out, const serve::QueryReply& reply);
+[[nodiscard]] serve::QueryReply decode_query_reply(ByteReader& r);
+
+// ------------------------------------- request/response frame helpers
+
+/// Encode `req` as one complete request frame (header included).
+[[nodiscard]] Buffer encode_request(const shard::Router::Request& req,
+                                    std::uint64_t request_id);
+
+/// Decode a request payload for `op`. Throws WireError for reply/unknown
+/// opcodes and malformed payloads.
+[[nodiscard]] shard::Router::Request decode_request(
+    Opcode op, std::span<const std::uint8_t> payload);
+
+/// Encode `resp` as the reply frame matching its kind (kReply /
+/// kReplyBatch / kRanked).
+[[nodiscard]] Buffer encode_response(const shard::Router::Response& resp,
+                                     std::uint64_t request_id);
+
+[[nodiscard]] Buffer encode_shed(double retry_after_s,
+                                 std::uint64_t request_id);
+[[nodiscard]] Buffer encode_error(const std::string& message,
+                                  std::uint64_t request_id);
+
+/// One decoded reply frame, whichever of the reply opcodes it was.
+struct DecodedReply {
+  Opcode opcode = Opcode::kError;
+  std::uint64_t request_id = 0;
+  serve::QueryReply reply;                 ///< kReply
+  std::vector<serve::QueryReply> replies;  ///< kReplyBatch
+  std::vector<serve::VertexScore> ranked;  ///< kRanked
+  double retry_after_s = 0;                ///< kShed
+  std::string error;                       ///< kError
+};
+
+/// Decode a reply payload for `header`. Throws WireError for request or
+/// unknown opcodes and malformed payloads.
+[[nodiscard]] DecodedReply decode_reply(const FrameHeader& header,
+                                        std::span<const std::uint8_t> payload);
+
+}  // namespace gee::net

@@ -7,24 +7,31 @@ namespace gee::shard {
 
 namespace {
 
-double unpack_double(std::uint64_t bits) noexcept {
-  double v;
-  __builtin_memcpy(&v, &bits, sizeof v);
-  return v;
-}
-
-std::uint64_t pack_double(double v) noexcept {
-  std::uint64_t bits;
-  __builtin_memcpy(&bits, &v, sizeof bits);
-  return bits;
-}
-
-/// EMA smoothing: ~20 requests of memory -- fast enough to track a load
-/// shift, slow enough that one slow request doesn't spike every hint.
-constexpr double kEmaAlpha = 0.05;
 constexpr double kRetryAfterFloorSeconds = 100e-6;
 
 }  // namespace
+
+void ServiceTimeEma::record(double service_s) noexcept {
+  std::uint64_t prev = bits_.load(std::memory_order_relaxed);
+  std::uint64_t next;
+  do {
+    // compare_exchange, not load-then-store: two workers finishing at once
+    // must both fold in, or the hint drifts low under exactly the load
+    // that makes it matter. A failed exchange reloads `prev` and re-derives
+    // `next` from the other worker's published value.
+    next = std::bit_cast<std::uint64_t>(
+        prev == kUnseeded
+            ? service_s
+            : std::bit_cast<double>(prev) +
+                  alpha_ * (service_s - std::bit_cast<double>(prev)));
+  } while (
+      !bits_.compare_exchange_weak(prev, next, std::memory_order_relaxed));
+}
+
+double ServiceTimeEma::seconds() const noexcept {
+  const auto bits = bits_.load(std::memory_order_relaxed);
+  return bits == kUnseeded ? 0.0 : std::bit_cast<double>(bits);
+}
 
 AdmissionQueue::AdmissionQueue(const std::string& metric_prefix, Config config)
     : config_{std::max(0, config.capacity), std::max(1, config.workers)},
@@ -51,7 +58,8 @@ bool AdmissionQueue::try_submit(Task task) {
   const auto now = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (!stop_ && queue_.size() < static_cast<std::size_t>(config_.capacity)) {
+    if (!stop_ && !closed_.load(std::memory_order_relaxed) &&
+        queue_.size() < static_cast<std::size_t>(config_.capacity)) {
       queue_.push_back({std::move(task), now});
       const auto d = queue_.size();
       depth_.store(d, std::memory_order_relaxed);
@@ -67,8 +75,21 @@ bool AdmissionQueue::try_submit(Task task) {
   return false;
 }
 
+void AdmissionQueue::close() {
+  // Mutate under the lock so the closed/open decision serializes with
+  // concurrent try_submit admission checks; the atomic lets closed() and
+  // the metrics path read without taking it.
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_.store(true, std::memory_order_relaxed);
+}
+
+void AdmissionQueue::reopen() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_.store(false, std::memory_order_relaxed);
+}
+
 double AdmissionQueue::ema_task_seconds() const noexcept {
-  return unpack_double(ema_bits_.load(std::memory_order_relaxed));
+  return ema_.seconds();
 }
 
 double AdmissionQueue::retry_after_seconds() const noexcept {
@@ -105,13 +126,7 @@ void AdmissionQueue::worker_loop() {
     // folding queue wait in would double-count the backlog.
     request_seconds_.record(
         std::chrono::duration<double>(finished - entry.admitted).count());
-    const double service =
-        std::chrono::duration<double>(finished - started).count();
-    const double prev = ema_task_seconds();
-    ema_bits_.store(
-        pack_double(prev == 0.0 ? service
-                                : prev + kEmaAlpha * (service - prev)),
-        std::memory_order_relaxed);
+    ema_.record(std::chrono::duration<double>(finished - started).count());
 
     {
       std::lock_guard<std::mutex> lock(mutex_);

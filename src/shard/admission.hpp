@@ -24,11 +24,14 @@
 //
 // Threading: any number of producers call try_submit concurrently;
 // `workers` dedicated threads drain the queue; drain() may be called by
-// any one thread at a time. Destruction stops the workers after the queue
-// empties (admitted work always completes).
+// any one thread at a time. close()/reopen() quiesce and resume admission
+// (closed lanes shed with the usual retry-after hint), which is what makes
+// drain() bounded under continued submissions. Destruction stops the
+// workers after the queue empties (admitted work always completes).
 #pragma once
 
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -42,6 +45,40 @@
 #include "obs/metrics.hpp"
 
 namespace gee::shard {
+
+/// Lock-free EMA of per-request service seconds -- the drain-rate estimate
+/// behind the retry-after hint. record() is a compare-exchange
+/// read-modify-write: with multiple lane workers recording concurrently,
+/// every observation folds in exactly once (a plain load-then-store RMW
+/// silently drops updates that race, and the hint drifts). Seededness is an
+/// explicit sentinel state, not "value == 0.0": a measured service time of
+/// exactly 0.0 (steady_clock granularity on sub-us lookups) seeds the EMA
+/// once instead of re-seeding it on every later observation.
+class ServiceTimeEma {
+ public:
+  /// `alpha` is the smoothing factor; the default keeps ~20 requests of
+  /// memory -- fast enough to track a load shift, slow enough that one
+  /// slow request doesn't spike every hint.
+  explicit ServiceTimeEma(double alpha = 0.05) noexcept : alpha_(alpha) {}
+
+  /// Fold one observed service time in. Exactly-once under concurrency:
+  /// the final value is the serial application of every record(),
+  /// regardless of interleaving. Callable from any thread.
+  void record(double service_s) noexcept;
+
+  /// Current estimate; 0.0 until the first record().
+  [[nodiscard]] double seconds() const noexcept;
+
+ private:
+  /// Unseeded sentinel. -1.0 is unreachable as an EMA of nonnegative
+  /// service times, so one atomic word carries both the value and the
+  /// seeded/unseeded state (a separate flag could not be read or updated
+  /// atomically together with the value).
+  static constexpr std::uint64_t kUnseeded = std::bit_cast<std::uint64_t>(-1.0);
+
+  double alpha_;
+  std::atomic<std::uint64_t> bits_{kUnseeded};
+};
 
 class AdmissionQueue {
  public:
@@ -59,10 +96,24 @@ class AdmissionQueue {
   AdmissionQueue(const AdmissionQueue&) = delete;
   AdmissionQueue& operator=(const AdmissionQueue&) = delete;
 
-  /// Admit `task` unless the queue already holds `capacity` entries.
-  /// Never blocks: returns true (task will run exactly once on a worker)
-  /// or false (shed; task dropped, counters updated).
+  /// Admit `task` unless the queue already holds `capacity` entries or the
+  /// lane is closed. Never blocks: returns true (task will run exactly
+  /// once on a worker) or false (shed; task dropped, counters updated).
   bool try_submit(Task task);
+
+  /// Close the lane: every subsequent try_submit sheds (with the usual
+  /// retry-after hint) until reopen(); tasks admitted before the close
+  /// still run. This is the quiesce primitive that bounds drain() under
+  /// continued submissions -- and the door the serving tier shuts while a
+  /// shard set is swapped behind a live listener (net::Server::reload).
+  void close();
+
+  /// Reopen a closed lane; try_submit admits again.
+  void reopen();
+
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_relaxed);
+  }
 
   /// Queued-but-not-started entries (lock-free approximate read).
   [[nodiscard]] std::size_t depth() const noexcept {
@@ -78,8 +129,11 @@ class AdmissionQueue {
   [[nodiscard]] double retry_after_seconds() const noexcept;
 
   /// Block until every admitted task has completed (queue empty AND no
-  /// task in flight). Producers should be quiesced first; tasks admitted
-  /// while drain() waits extend the wait.
+  /// task in flight). Bounded completion requires quiescing producers
+  /// first: after close(), at most the already-admitted backlog runs, so
+  /// drain() returns within `depth x service time` even while clients
+  /// keep submitting (they shed). Without close(), tasks admitted while
+  /// drain() waits extend the wait arbitrarily.
   void drain();
 
   [[nodiscard]] const Config& config() const noexcept { return config_; }
@@ -103,8 +157,9 @@ class AdmissionQueue {
   std::condition_variable drained_; ///< drain() waits for quiescence
   std::deque<Entry> queue_;
   std::atomic<std::size_t> depth_{0};
-  std::atomic<std::uint64_t> ema_bits_{0};  ///< double, relaxed store
-  int in_flight_ = 0;                       ///< guarded by mutex_
+  std::atomic<bool> closed_{false};  ///< written under mutex_, read lock-free
+  ServiceTimeEma ema_;
+  int in_flight_ = 0;                ///< guarded by mutex_
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

@@ -160,12 +160,20 @@ Router::Response Router::answer(const Request& req) const {
     case Request::Kind::kTopKVertices:
       r.ranked = top_k_vertices(req.cls, req.k);
       break;
+    case Request::Kind::kLookupBatch:
+      r.replies = lookup_batch(req.vertices);
+      break;
+    case Request::Kind::kQueryBatch:
+      r.replies = query_batch(req.queries);
+      break;
   }
   return r;
 }
 
 Router::Ticket Router::submit(Request req, Callback done) {
   RouterMetrics& metrics = RouterMetrics::get();
+  // Single lookups go to the owning shard's lane (cache affinity); every
+  // other kind fans out internally anyway, so its ticket round-robins.
   const int s = req.kind == Request::Kind::kLookup ? route_vertex(req.vertex)
                                                    : next_replica();
   AdmissionQueue& lane = *lanes_[static_cast<std::size_t>(s)];
@@ -181,6 +189,14 @@ Router::Ticket Router::submit(Request req, Callback done) {
   }
   metrics.shed.add();
   return {false, lane.retry_after_seconds()};
+}
+
+void Router::close() {
+  for (auto& lane : lanes_) lane->close();
+}
+
+void Router::reopen() {
+  for (auto& lane : lanes_) lane->reopen();
 }
 
 void Router::drain() {

@@ -23,10 +23,12 @@
 //    the bounded lanes turn excess arrivals into explicit rejections
 //    instead of unbounded queueing delay.
 //
-// A cross-shard top-k submitted through the admission plane occupies one
-// lane ticket and performs its fan-out scan synchronously on that lane's
-// worker (reader fan-out is thread-safe); admission control is per-lane,
-// so a scan-heavy mix should size lane budgets accordingly.
+// A cross-shard top-k or batch request submitted through the admission
+// plane occupies ONE lane ticket and performs its fan-out synchronously on
+// that lane's worker (reader fan-out is thread-safe); admission control is
+// per-lane, so a scan- or batch-heavy mix should size lane budgets
+// accordingly. This is the surface the wire protocol (src/net/) forwards
+// into: every remote request kind maps onto one Request here.
 #pragma once
 
 #include <atomic>
@@ -90,18 +92,27 @@ class Router {
   // ------------------------------------- admission-controlled plane
 
   struct Request {
-    enum class Kind : std::uint8_t { kLookup, kQuery, kTopKVertices };
+    enum class Kind : std::uint8_t {
+      kLookup,
+      kQuery,
+      kTopKVertices,
+      kLookupBatch,
+      kQueryBatch,
+    };
     Kind kind = Kind::kLookup;
-    graph::VertexId vertex = 0;   ///< kLookup
-    serve::VertexQuery query;     ///< kQuery
-    std::int32_t cls = 0;         ///< kTopKVertices
-    int k = 0;                    ///< kTopKVertices
+    graph::VertexId vertex = 0;               ///< kLookup
+    serve::VertexQuery query;                 ///< kQuery
+    std::int32_t cls = 0;                     ///< kTopKVertices
+    int k = 0;                                ///< kTopKVertices
+    std::vector<graph::VertexId> vertices;    ///< kLookupBatch
+    std::vector<serve::VertexQuery> queries;  ///< kQueryBatch
   };
 
   struct Response {
     Request::Kind kind = Request::Kind::kLookup;
-    serve::QueryReply reply;                 ///< kLookup / kQuery
-    std::vector<serve::VertexScore> ranked;  ///< kTopKVertices
+    serve::QueryReply reply;                   ///< kLookup / kQuery
+    std::vector<serve::QueryReply> replies;    ///< kLookupBatch / kQueryBatch
+    std::vector<serve::VertexScore> ranked;    ///< kTopKVertices
   };
 
   /// submit()'s immediate verdict. kShed responses carry the lane's
@@ -118,8 +129,20 @@ class Router {
   /// from any thread.
   Ticket submit(Request req, Callback done);
 
-  /// Block until every admitted request has completed (quiesce producers
-  /// first). The open-loop harness's end-of-run barrier.
+  /// Close every lane: submit() sheds with a retry-after hint until
+  /// reopen(), admitted requests keep running. close(); drain(); is the
+  /// bounded quiesce sequence reload paths are built on -- drain completes
+  /// within the already-admitted backlog even while clients keep
+  /// submitting.
+  void close();
+
+  /// Reopen every lane; submit() admits again.
+  void reopen();
+
+  /// Block until every admitted request has completed. Bounded after
+  /// close() (or once producers quiesce); otherwise requests admitted
+  /// while it waits extend the wait. The open-loop harness's end-of-run
+  /// barrier and the second half of the reload quiesce sequence.
   void drain();
 
   /// Answer `req` inline (the lane workers' execution path, exposed so

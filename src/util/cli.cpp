@@ -68,6 +68,15 @@ std::optional<double> parse_arrival_rate(const std::string& text) {
   return value;
 }
 
+std::optional<std::string> parse_socket_path(const std::string& text) {
+  // 107 = sockaddr_un::sun_path (108 on Linux) minus the trailing NUL;
+  // mirrored from net::kMaxSocketPathLen, which util cannot include
+  // (util sits below net in the layer order).
+  constexpr std::size_t kMaxSocketPathLen = 107;
+  if (text.empty() || text.size() > kMaxSocketPathLen) return std::nullopt;
+  return text;
+}
+
 void ArgParser::add_option(const std::string& name, const std::string& help,
                            const std::string& default_value) {
   specs_.emplace_back(name, Spec{help, default_value, /*is_flag=*/false});

@@ -55,6 +55,12 @@ namespace gee::util {
 /// inf/nan, or non-numeric text).
 [[nodiscard]] std::optional<double> parse_arrival_rate(const std::string& text);
 
+/// Parse a --socket value: a non-empty filesystem path short enough for
+/// sockaddr_un's sun_path (net::kMaxSocketPathLen, 107 bytes). nullopt
+/// otherwise, so callers report the limit instead of truncating a path.
+[[nodiscard]] std::optional<std::string> parse_socket_path(
+    const std::string& text);
+
 class ArgParser {
  public:
   ArgParser(std::string program, std::string description)

@@ -166,6 +166,88 @@ TEST(AdmissionQueue, CapacityZeroShedsEverything) {
   q.drain();
 }
 
+// Regression for the EMA lost-update race: the pre-fix update was a
+// relaxed load-then-store read-modify-write, so two workers finishing
+// concurrently could each read the same `prev` and one observation
+// silently vanished. The CAS loop makes record() exactly-once, and since
+// every record here applies the SAME monotone contraction
+// f(v) = v + alpha*(target - v), the final value is f^N(seed) regardless
+// of thread interleaving -- while even one lost update lands at
+// f^(N-1)(seed), which differs by ~alpha (1e-9, far above double eps at
+// this magnitude, far below convergence). So the assertion is an exact
+// equality that any lost update breaks.
+TEST(AdmissionQueue, EmaConcurrentRecordsFoldInExactlyOnce) {
+  constexpr double kAlpha = 1e-9;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  shard::ServiceTimeEma ema(kAlpha);
+  ema.record(1.0);  // deterministic seed, away from the 2.0 fixed point
+
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < kThreads; ++t) {
+    recorders.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) ema.record(2.0);
+    });
+  }
+  for (auto& t : recorders) t.join();
+
+  double expected = 1.0;
+  for (int i = 0; i < kThreads * kPerThread; ++i) {
+    expected = expected + kAlpha * (2.0 - expected);
+  }
+  EXPECT_EQ(ema.seconds(), expected);
+}
+
+TEST(AdmissionQueue, EmaSeedsOnceEvenAtZeroServiceTime) {
+  // A sub-us request can measure exactly 0.0 on a coarse steady_clock; the
+  // pre-fix code treated value==0.0 as "unseeded" and re-seeded forever,
+  // so the EMA tracked the LAST observation instead of smoothing.
+  shard::ServiceTimeEma ema(0.05);
+  EXPECT_EQ(ema.seconds(), 0.0);  // unseeded reads as zero
+  ema.record(0.0);                // seeds (exactly-zero observation)
+  EXPECT_EQ(ema.seconds(), 0.0);
+  ema.record(1.0);  // must SMOOTH from the 0.0 seed, not re-seed to 1.0
+  EXPECT_EQ(ema.seconds(), 0.05);
+  ema.record(1.0);
+  EXPECT_EQ(ema.seconds(), 0.05 + 0.05 * (1.0 - 0.05));
+}
+
+TEST(AdmissionQueue, ClosedLaneShedsUntilReopened) {
+  AdmissionQueue q("gee.test.lane_closed", {.capacity = 8, .workers = 1});
+  EXPECT_FALSE(q.closed());
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.try_submit([] { FAIL() << "closed lane ran a task"; }));
+  EXPECT_GE(q.retry_after_seconds(), 100e-6);  // sheds still carry a hint
+  q.drain();
+  q.reopen();
+  std::atomic<int> runs{0};
+  EXPECT_TRUE(q.try_submit([&] { runs.fetch_add(1); }));
+  q.drain();
+  EXPECT_EQ(runs.load(), 1);
+}
+
+// Regression for the unbounded-drain defect: drain() used to have no way
+// to quiesce admission, so a producer submitting in a loop could extend
+// the wait forever. After close(), only the already-admitted backlog runs,
+// so drain() must return while the producer is STILL submitting.
+TEST(AdmissionQueue, DrainIsBoundedAfterCloseUnderContinuedSubmissions) {
+  AdmissionQueue q("gee.test.lane_drain_bound", {.capacity = 32, .workers = 2});
+  std::atomic<bool> stop{false};
+  std::thread producer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      q.try_submit([] {});
+    }
+  });
+  for (int i = 0; i < 100; ++i) q.try_submit([] {});
+  q.close();
+  q.drain();  // must complete with the producer still running
+  EXPECT_EQ(q.depth(), 0u);
+  stop.store(true, std::memory_order_release);
+  producer.join();
+  q.reopen();
+}
+
 // ----------------------------------------------------------------- ShardSet
 
 TEST(ShardSet, AppliesRouteToOwningShardsOnly) {
@@ -351,6 +433,30 @@ TEST_F(RouterTest, CapacityZeroRouterShedsWithRetryAfter) {
   EXPECT_FALSE(ticket.admitted);
   EXPECT_GE(ticket.retry_after_s, 100e-6);
   shedding.drain();
+}
+
+TEST_F(RouterTest, CloseShedsEveryLaneAndReopenRestores) {
+  router_.close();
+  const auto ticket = router_.submit(
+      Router::Request{},
+      [](Router::Response) { FAIL() << "closed router must not answer"; });
+  EXPECT_FALSE(ticket.admitted);
+  EXPECT_GE(ticket.retry_after_s, 100e-6);
+  router_.drain();  // bounded: all lanes closed
+
+  router_.reopen();
+  std::promise<Router::Response> answered;
+  auto future = answered.get_future();
+  Router::Request req;
+  req.kind = Router::Request::Kind::kLookup;
+  req.vertex = 1;
+  ASSERT_TRUE(router_
+                  .submit(req, [&](Router::Response r) {
+                    answered.set_value(std::move(r));
+                  })
+                  .admitted);
+  EXPECT_EQ(future.get().reply.row, reference_.lookup(1).row);
+  router_.drain();
 }
 
 // ------------------------------------------------------------------- stress

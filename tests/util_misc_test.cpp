@@ -256,6 +256,16 @@ TEST(ParseArrivalRate, RejectsNonPositiveAndJunk) {
   EXPECT_FALSE(gee::util::parse_arrival_rate("nan").has_value());
 }
 
+TEST(ParseSocketPath, AcceptsPathsSunPathCanHold) {
+  EXPECT_EQ(gee::util::parse_socket_path("/tmp/gee.sock"), "/tmp/gee.sock");
+  // 107 bytes is the Linux sockaddr_un limit minus the NUL: exactly at the
+  // boundary passes, one past fails.
+  const std::string at_limit(107, 'a');
+  EXPECT_EQ(gee::util::parse_socket_path(at_limit), at_limit);
+  EXPECT_FALSE(gee::util::parse_socket_path(at_limit + "a").has_value());
+  EXPECT_FALSE(gee::util::parse_socket_path("").has_value());
+}
+
 // ---------------------------------------------------------------------- env
 
 TEST(Env, StringUnsetAndSet) {
